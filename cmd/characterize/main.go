@@ -1,0 +1,74 @@
+// Command characterize recomputes workload statistics from an exported
+// series CSV (as written by rubisim -csv or cmd/figures): summary
+// statistics, distribution fit, autocorrelation, and jump detection —
+// the trace-analysis half of the paper without rerunning the simulation.
+//
+// Usage:
+//
+//	characterize trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vwchar/internal/stats"
+	"vwchar/internal/timeseries"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: characterize <trace.csv>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	series, err := timeseries.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("series %q: %d samples at %.0f s interval\n\n",
+		series.Name, series.Len(), series.Interval)
+
+	s := stats.Summarize(series.Values)
+	fmt.Printf("mean %.4g  std %.4g  cov %.3f  min %.4g  max %.4g\n",
+		s.Mean, s.Std, s.CoV, s.Min, s.Max)
+	fmt.Printf("median %.4g  p95 %.4g  p99 %.4g  skewness %.3f\n\n",
+		s.Median, s.P95, s.P99, s.Skewness)
+
+	if dist, ks, err := stats.BestFit(series.Values); err == nil {
+		fmt.Printf("best-fit distribution: %s (%s), KS distance %.4f\n",
+			dist.Name(), dist.Params(), ks)
+	} else {
+		fmt.Printf("no distribution family fits: %v\n", err)
+	}
+
+	fmt.Printf("autocorrelation: lag1 %.3f  lag5 %.3f  lag30 %.3f\n",
+		stats.Autocorrelation(series.Values, 1),
+		stats.Autocorrelation(series.Values, 5),
+		stats.Autocorrelation(series.Values, 30))
+
+	jumps := stats.DetectJumps(series.Values, 15, s.Std)
+	if len(jumps) == 0 {
+		fmt.Println("no sustained level shifts detected")
+		return nil
+	}
+	fmt.Printf("%d sustained level shift(s):\n", len(jumps))
+	for _, j := range jumps {
+		fmt.Printf("  t=%.0fs  %.4g -> %.4g (delta %.4g)\n",
+			series.TimeAt(j.Index), j.Before, j.After, j.Magnitude())
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command figures regenerates every artifact of the paper's evaluation:
+// Figures 1-8 (ASCII charts to stdout, CSV files under -out), Table 1,
+// and the Section 4 characterization report.
+//
+// The full-scale reproduction (1000 clients, 600 samples, both
+// environments, browse and bid mixes) takes well under a minute.
+//
+// Usage:
+//
+//	figures -out out -seed 42 [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vwchar"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "directory for CSV exports")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	scale := flag.Float64("scale", 1.0, "scale factor for clients and duration (1.0 = paper scale)")
+	flag.Parse()
+
+	if err := run(*outDir, *seed, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, seed uint64, scale float64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	clients := int(1000 * scale)
+	duration := 1200 * scale
+	if clients < 10 || duration < 30 {
+		return fmt.Errorf("scale %v too small", scale)
+	}
+
+	fmt.Println("== Table 1 ==")
+	if err := vwchar.WriteTable1(os.Stdout); err != nil {
+		return err
+	}
+	table1, err := os.Create(filepath.Join(outDir, "table1.txt"))
+	if err != nil {
+		return err
+	}
+	if err := vwchar.WriteTable1(table1); err != nil {
+		table1.Close()
+		return err
+	}
+	if err := table1.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrunning virtualized pair (%d clients, %.0f s)...\n", clients, duration)
+	virt, err := vwchar.RunPairScaled(vwchar.Virtualized, seed, clients, duration)
+	if err != nil {
+		return err
+	}
+	fmt.Println("running physical pair...")
+	phys, err := vwchar.RunPairScaled(vwchar.Physical, seed+100, clients, duration)
+	if err != nil {
+		return err
+	}
+
+	for _, spec := range vwchar.FigureSpecs() {
+		pair := virt
+		if spec.Env == vwchar.Physical {
+			pair = phys
+		}
+		fig, err := vwchar.BuildFigure(spec.ID, pair.Browse, pair.Bid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n== Figure %d. %s ==\n", fig.ID, fig.Caption)
+		if err := vwchar.RenderFigure(os.Stdout, fig); err != nil {
+			return err
+		}
+		name := filepath.Join(outDir, fmt.Sprintf("figure%d.csv", fig.ID))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := vwchar.WriteFigureCSV(f, fig); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(series exported to %s)\n", name)
+	}
+
+	fmt.Println("\n== Section 4 characterization ==")
+	report := vwchar.Characterize(virt, phys)
+	if err := report.Write(os.Stdout); err != nil {
+		return err
+	}
+	rf, err := os.Create(filepath.Join(outDir, "report.txt"))
+	if err != nil {
+		return err
+	}
+	if err := report.Write(rf); err != nil {
+		rf.Close()
+		return err
+	}
+	return rf.Close()
+}

@@ -1,0 +1,81 @@
+// Command rubisim runs one experiment from the paper's setup and prints
+// the headline demand series plus a summary.
+//
+// Usage:
+//
+//	rubisim -env virtualized -mix browsing -clients 1000 -duration 1200 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vwchar"
+	"vwchar/internal/sim"
+)
+
+func main() {
+	env := flag.String("env", "virtualized", "deployment: virtualized | physical")
+	mix := flag.String("mix", "browsing", "client mix: browsing | bidding | 30/70 | 50/50 | 70/30")
+	clients := flag.Int("clients", 1000, "closed-loop client population")
+	duration := flag.Float64("duration", 1200, "profiled window in seconds")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	csv := flag.Bool("csv", false, "emit the headline series as CSV instead of charts")
+	flag.Parse()
+
+	cfg := vwchar.DefaultConfig(vwchar.Env(*env), vwchar.MixKind(*mix))
+	cfg.Clients = *clients
+	cfg.Duration = sim.Seconds(*duration)
+	cfg.Seed = *seed
+
+	res, err := vwchar.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rubisim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s: %d clients, %.0f s, seed %d\n",
+		cfg.Environment, cfg.Mix, cfg.Clients, cfg.Duration.Sec(), cfg.Seed)
+	fmt.Printf("requests: %d completed, %d errors, write fraction %.1f%%\n",
+		res.Completed, res.Errors, res.WriteFraction*100)
+	fmt.Printf("response time: mean %.1f ms, p95 %.1f ms\n",
+		res.MeanRespTime*1e3, res.P95RespTime*1e3)
+	fmt.Printf("web worker-pool growths (RAM jumps): %d\n\n", res.WebGrowths)
+
+	tiers := []string{vwchar.TierWeb, vwchar.TierDB}
+	if cfg.Environment == vwchar.Virtualized {
+		tiers = append(tiers, vwchar.TierDom0)
+	}
+	for _, tier := range tiers {
+		cpu, mem := res.CPU(tier), res.Mem(tier)
+		disk, net := res.Disk(tier), res.Net(tier)
+		fmt.Printf("%-8s cpu %.3g cyc/2s (max %.3g)  mem %.0f..%.0f MB  disk %.0f KB/2s  net %.0f KB/2s\n",
+			tier, cpu.Mean(), cpu.Max(), mem.Min(), mem.Max(), disk.Mean(), net.Mean())
+	}
+	fmt.Println()
+	if *csv {
+		series := make([]*vwchar.Series, 0, len(tiers))
+		for _, tier := range tiers {
+			series = append(series, res.CPU(tier))
+		}
+		if err := writeCSV(series); err != nil {
+			fmt.Fprintln(os.Stderr, "rubisim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeCSV(series []*vwchar.Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	// Reuse the figure CSV path by printing a simple table.
+	for _, s := range series {
+		if err := s.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

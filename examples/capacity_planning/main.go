@@ -1,0 +1,50 @@
+// Capacity planning: the use case the paper's introduction motivates.
+// Sweep the client population on the virtualized deployment and find the
+// largest population whose p95 response time still meets an SLA — the
+// "support applications with the right hardware" decision.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vwchar"
+	"vwchar/internal/sim"
+)
+
+const slaP95Millis = 60.0
+
+func main() {
+	fmt.Printf("SLA: p95 response time <= %.0f ms (virtualized, browsing mix)\n\n", slaP95Millis)
+	fmt.Printf("%8s %12s %12s %14s %10s\n", "clients", "req/s", "p95 (ms)", "webCPU (c/2s)", "SLA")
+
+	lastOK := 0
+	for _, clients := range []int{200, 400, 800, 1200, 1600, 2000, 2400} {
+		cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+		cfg.Clients = clients
+		cfg.Duration = 180 * sim.Second
+		res, err := vwchar.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p95 := res.P95RespTime * 1e3
+		ok := p95 <= slaP95Millis
+		if ok {
+			lastOK = clients
+		}
+		verdict := "meets"
+		if !ok {
+			verdict = "VIOLATES"
+		}
+		fmt.Printf("%8d %12.1f %12.2f %14.3g %10s\n",
+			clients,
+			float64(res.Completed)/cfg.Duration.Sec(),
+			p95,
+			res.CPU(vwchar.TierWeb).Mean(),
+			verdict)
+	}
+
+	fmt.Printf("\nplanning result: one web VM + one DB VM on a single host sustains ~%d clients within SLA.\n", lastOK)
+	fmt.Println("Beyond the knee, the web tier's worker pool saturates and queueing inflates p95 —")
+	fmt.Println("exactly the capacity-planning signal the paper argues workload characterization enables.")
+}

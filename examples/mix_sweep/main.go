@@ -1,0 +1,50 @@
+// Mix sweep: the paper tested five request compositions (browse-only,
+// bid-only, 30/70, 50/50, 70/30) but had space to report only two. This
+// example runs all five and tabulates the per-tier demand, showing how
+// the composition dial moves each resource — including the paper's
+// observation that bidding costs the *hypervisor* more while costing the
+// VMs less.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vwchar"
+	"vwchar/internal/sim"
+)
+
+func main() {
+	mixes := []vwchar.MixKind{
+		vwchar.MixBrowsing,
+		vwchar.Mix70Browse,
+		vwchar.Mix50Browse,
+		vwchar.Mix30Browse,
+		vwchar.MixBidding,
+	}
+	fmt.Printf("%-10s %9s %8s %12s %12s %12s %10s %10s\n",
+		"mix", "req/s", "writes", "webCPU", "dbCPU", "dom0CPU", "webNetKB", "dbDiskKB")
+	for _, mix := range mixes {
+		cfg := vwchar.DefaultConfig(vwchar.Virtualized, mix)
+		cfg.Clients = 500
+		cfg.Duration = 240 * sim.Second
+		res, err := vwchar.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %9.1f %7.1f%% %12.3g %12.3g %12.3g %10.0f %10.0f\n",
+			mix,
+			float64(res.Completed)/cfg.Duration.Sec(),
+			res.WriteFraction*100,
+			res.CPU(vwchar.TierWeb).Mean(),
+			res.CPU(vwchar.TierDB).Mean(),
+			res.CPU(vwchar.TierDom0).Mean(),
+			res.Net(vwchar.TierWeb).Mean(),
+			res.Disk(vwchar.TierDB).Mean(),
+		)
+	}
+	fmt.Println("\nReading the table: as the bid share rises, VM-visible CPU and network fall")
+	fmt.Println("(fewer, smaller pages at a longer think time) while DB disk rises (writes,")
+	fmt.Println("journal flushes) — the bid-heavy compositions land more physical work on dom0")
+	fmt.Println("per unit of VM-visible demand, the paper's §4.1 observation.")
+}

@@ -1,0 +1,326 @@
+// Package characterize computes the paper's analyses over collected
+// traces: per-resource tier comparisons (§4.1), VM-aggregate versus
+// hypervisor ratios (§4.1), virtualized versus non-virtualized
+// comparisons (§4.2), inter-tier lag, RAM jump detection, and disk
+// variance comparison.
+package characterize
+
+import (
+	"fmt"
+	"io"
+
+	"vwchar/internal/experiment"
+	"vwchar/internal/stats"
+	"vwchar/internal/timeseries"
+)
+
+// Resource names the four resource classes the paper compares.
+type Resource string
+
+// The four resources.
+const (
+	CPU     Resource = "cpu"
+	RAM     Resource = "ram"
+	Disk    Resource = "disk"
+	Network Resource = "network"
+)
+
+// Resources lists them in the paper's order.
+func Resources() []Resource { return []Resource{CPU, RAM, Disk, Network} }
+
+func tierSeries(r *experiment.Result, tier string, res Resource) *timeseries.Series {
+	switch res {
+	case CPU:
+		return r.CPU(tier)
+	case RAM:
+		return r.Mem(tier)
+	case Disk:
+		return r.Disk(tier)
+	case Network:
+		return r.Net(tier)
+	default:
+		panic(fmt.Sprintf("characterize: unknown resource %q", res))
+	}
+}
+
+// warmupSkip drops the first fraction of samples so warm-up transients
+// (cold buffer pool, page caches filling) do not skew the steady-state
+// means the paper reports.
+const warmupSkip = 0.2
+
+func steadyMean(s *timeseries.Series) float64 {
+	from := int(float64(s.Len()) * warmupSkip)
+	return s.Slice(from, s.Len()).Mean()
+}
+
+// Ratios holds one value per resource.
+type Ratios struct {
+	CPU, RAM, Disk, Network float64
+}
+
+// Get returns the ratio for a resource.
+func (r Ratios) Get(res Resource) float64 {
+	switch res {
+	case CPU:
+		return r.CPU
+	case RAM:
+		return r.RAM
+	case Disk:
+		return r.Disk
+	case Network:
+		return r.Network
+	}
+	return 0
+}
+
+// TierRatios computes the paper's §4.1 front-end/back-end demand ratios
+// from a virtualized run: how many times more CPU cycles, RAM, disk
+// read/write, and network data the web+application tier demands than the
+// database tier (paper: 6.11, 3.29, 5.71, 55.56).
+func TierRatios(r *experiment.Result) Ratios {
+	ratio := func(res Resource) float64 {
+		front := steadyMean(tierSeries(r, experiment.TierWeb, res))
+		back := steadyMean(tierSeries(r, experiment.TierDB, res))
+		if back == 0 {
+			return 0
+		}
+		return front / back
+	}
+	return Ratios{CPU: ratio(CPU), RAM: ratio(RAM), Disk: ratio(Disk), Network: ratio(Network)}
+}
+
+// VMToDom0Ratios computes the paper's §4.1 aggregated-VM versus
+// hypervisor ratios from a virtualized run (paper: 16.84, 0.58, 0.47,
+// 0.98). Values above 1 mean the VM counters exceed what dom0 observes.
+func VMToDom0Ratios(r *experiment.Result) Ratios {
+	ratio := func(res Resource) float64 {
+		vm := steadyMean(tierSeries(r, experiment.TierWeb, res)) +
+			steadyMean(tierSeries(r, experiment.TierDB, res))
+		dom0 := steadyMean(tierSeries(r, experiment.TierDom0, res))
+		if dom0 == 0 {
+			return 0
+		}
+		return vm / dom0
+	}
+	return Ratios{CPU: ratio(CPU), RAM: ratio(RAM), Disk: ratio(Disk), Network: ratio(Network)}
+}
+
+// EnvAggregateRatios computes the paper's §4.2 non-virtualized versus
+// virtualized aggregate ratios: non-virt (web+db physical) totals over
+// the dom0-measured totals of the virtualized run (paper: 3.47, 0.97,
+// 0.6, 0.98).
+func EnvAggregateRatios(virt, phys *experiment.Result) Ratios {
+	ratio := func(res Resource) float64 {
+		nonVirt := steadyMean(tierSeries(phys, experiment.TierWeb, res)) +
+			steadyMean(tierSeries(phys, experiment.TierDB, res))
+		dom0 := steadyMean(tierSeries(virt, experiment.TierDom0, res))
+		if dom0 == 0 {
+			return 0
+		}
+		return nonVirt / dom0
+	}
+	return Ratios{CPU: ratio(CPU), RAM: ratio(RAM), Disk: ratio(Disk), Network: ratio(Network)}
+}
+
+// PhysicalDelta computes the paper's §4.2 physical-demand deltas:
+// non-virtualized demand versus the *application-attributed* physical
+// demand of the virtualized deployment (guest physical share plus dom0
+// backend work, excluding dom0's own management activity). The paper
+// reports +88% CPU, +21% RAM, +2% network, and -25% disk. Values are
+// (nonVirt/virtApp - 1).
+func PhysicalDelta(virt, phys *experiment.Result) Ratios {
+	samples := float64(virt.Collector.Samples)
+	if samples == 0 {
+		return Ratios{}
+	}
+	attr := virt.Attribution
+
+	nonVirt := func(res Resource) float64 {
+		return steadyMean(tierSeries(phys, experiment.TierWeb, res)) +
+			steadyMean(tierSeries(phys, experiment.TierDB, res))
+	}
+
+	// Application-attributed virtualized physical demand, averaged per
+	// 2-second sample to match the series units.
+	virtCPU := (virt.GuestPhysCycles + attr.BackendCycles) / samples
+	virtDisk := attr.BackendDiskBytes / samples / 1024 // KB per sample
+	virtNet := attr.BackendNetBytes / samples / 1024
+	// RAM: guest used + dom0 backend buffers (gauges, not rates).
+	virtRAM := steadyMean(virt.Mem(experiment.TierWeb)) +
+		steadyMean(virt.Mem(experiment.TierDB)) +
+		virt.Dom0BuffersMB
+
+	delta := func(nv, va float64) float64 {
+		if va == 0 {
+			return 0
+		}
+		return nv/va - 1
+	}
+	return Ratios{
+		CPU:     delta(nonVirt(CPU), virtCPU),
+		RAM:     delta(nonVirt(RAM), virtRAM),
+		Disk:    delta(nonVirt(Disk), virtDisk),
+		Network: delta(nonVirt(Network), virtNet),
+	}
+}
+
+// LagResult is the inter-tier lag estimate.
+type LagResult struct {
+	// LagSamples is the lag of the DB tier behind the web tier in
+	// 2-second samples; LagSeconds converts it.
+	LagSamples int
+	LagSeconds float64
+	// Correlation at the best lag.
+	Correlation float64
+}
+
+// TierLag estimates how far the DB tier's CPU demand trails the web
+// tier's via cross-correlation (paper §4.1: "there exist some lags
+// between workload changes of the database server and the web and
+// application servers").
+func TierLag(r *experiment.Result) LagResult {
+	web := r.CPU(experiment.TierWeb)
+	db := r.CPU(experiment.TierDB)
+	lag, corr := stats.EstimateLag(web.Values, db.Values, 10)
+	return LagResult{
+		LagSamples:  lag,
+		LagSeconds:  float64(lag) * web.Interval,
+		Correlation: corr,
+	}
+}
+
+// RAMJumps detects the abrupt sustained RAM increases of the web tier
+// (paper Figures 2 and 6). Window and threshold follow the figures'
+// scale: 15 samples (30 s) and 50 MB.
+func RAMJumps(r *experiment.Result, tier string) []stats.Jump {
+	return stats.DetectJumps(r.Mem(tier).Values, 15, 50)
+}
+
+// FirstJumpTime reports the time (seconds) of the earliest detected web
+// tier RAM jump, or -1 when none occurred. The paper observes jumps
+// happening earlier in the non-virtualized system.
+func FirstJumpTime(r *experiment.Result) float64 {
+	jumps := RAMJumps(r, experiment.TierWeb)
+	if len(jumps) == 0 {
+		return -1
+	}
+	s := r.Mem(experiment.TierWeb)
+	return s.TimeAt(jumps[0].Index)
+}
+
+// DiskVariance compares disk I/O variability between environments via
+// the coefficient of variation of the web tier disk series (paper §4.2:
+// "disk read and write workload shows higher variance in the
+// non-virtualized system").
+func DiskVariance(r *experiment.Result, tier string) float64 {
+	s := tierSeries(r, tier, Disk)
+	from := int(float64(s.Len()) * warmupSkip)
+	return stats.Summarize(s.Slice(from, s.Len()).Values).CoV
+}
+
+// Report is the full characterization of a browse+bid pair of runs in
+// both environments — everything the paper's Section 4 claims, computed
+// from our traces.
+type Report struct {
+	// Virtualized §4.1.
+	TierRatiosBrowse, TierRatiosBid Ratios
+	VMDom0Browse, VMDom0Bid         Ratios
+	LagBrowse, LagBid               LagResult
+	WebJumpsBrowseVirt              int
+	WebJumpsBidVirt                 int
+
+	// Cross-environment §4.2.
+	EnvAggregateBrowse, EnvAggregateBid Ratios
+	PhysicalDeltaBrowse                 Ratios
+	PhysicalDeltaBid                    Ratios
+	DiskCoVVirt, DiskCoVPhys            float64
+	FirstJumpVirt, FirstJumpPhys        float64
+	WebJumpsBidPhys                     int
+}
+
+// BuildReport computes the full characterization from the four runs.
+func BuildReport(virtBrowse, virtBid, physBrowse, physBid *experiment.Result) Report {
+	return Report{
+		TierRatiosBrowse:    TierRatios(virtBrowse),
+		TierRatiosBid:       TierRatios(virtBid),
+		VMDom0Browse:        VMToDom0Ratios(virtBrowse),
+		VMDom0Bid:           VMToDom0Ratios(virtBid),
+		LagBrowse:           TierLag(virtBrowse),
+		LagBid:              TierLag(virtBid),
+		WebJumpsBrowseVirt:  len(RAMJumps(virtBrowse, experiment.TierWeb)),
+		WebJumpsBidVirt:     len(RAMJumps(virtBid, experiment.TierWeb)),
+		EnvAggregateBrowse:  EnvAggregateRatios(virtBrowse, physBrowse),
+		EnvAggregateBid:     EnvAggregateRatios(virtBid, physBid),
+		PhysicalDeltaBrowse: PhysicalDelta(virtBrowse, physBrowse),
+		PhysicalDeltaBid:    PhysicalDelta(virtBid, physBid),
+		DiskCoVVirt:         DiskVariance(virtBrowse, experiment.TierWeb),
+		DiskCoVPhys:         DiskVariance(physBrowse, experiment.TierWeb),
+		FirstJumpVirt:       FirstJumpTime(virtBrowse),
+		FirstJumpPhys:       FirstJumpTime(physBid),
+		WebJumpsBidPhys:     len(RAMJumps(physBid, experiment.TierWeb)),
+	}
+}
+
+// Write renders the report with the paper's reference values alongside.
+func (rep Report) Write(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("Workload characterization report (paper reference values in brackets)\n\n"); err != nil {
+		return err
+	}
+	row := func(label string, r Ratios, ref [4]float64) error {
+		return p("  %-34s cpu %6.2f [%.2f]   ram %5.2f [%.2f]   disk %5.2f [%.2f]   net %6.2f [%.2f]\n",
+			label, r.CPU, ref[0], r.RAM, ref[1], r.Disk, ref[2], r.Network, ref[3])
+	}
+	if err := p("Front-end / back-end demand (virtualized, §4.1):\n"); err != nil {
+		return err
+	}
+	if err := row("browsing", rep.TierRatiosBrowse, [4]float64{6.11, 3.29, 5.71, 55.56}); err != nil {
+		return err
+	}
+	if err := row("bidding", rep.TierRatiosBid, [4]float64{6.11, 3.29, 5.71, 55.56}); err != nil {
+		return err
+	}
+	if err := p("VM aggregate / dom0 (virtualized, §4.1):\n"); err != nil {
+		return err
+	}
+	if err := row("browsing", rep.VMDom0Browse, [4]float64{16.84, 0.58, 0.47, 0.98}); err != nil {
+		return err
+	}
+	if err := row("bidding", rep.VMDom0Bid, [4]float64{16.84, 0.58, 0.47, 0.98}); err != nil {
+		return err
+	}
+	if err := p("Non-virtualized / virtualized aggregate (§4.2):\n"); err != nil {
+		return err
+	}
+	if err := row("browsing", rep.EnvAggregateBrowse, [4]float64{3.47, 0.97, 0.60, 0.98}); err != nil {
+		return err
+	}
+	if err := row("bidding", rep.EnvAggregateBid, [4]float64{3.47, 0.97, 0.60, 0.98}); err != nil {
+		return err
+	}
+	if err := p("Physical-demand delta, non-virt vs app-attributed virt (§4.2, paper: +88%% cpu, +21%% ram, +2%% net, -25%% disk):\n"); err != nil {
+		return err
+	}
+	if err := p("  browsing: cpu %+.0f%%  ram %+.0f%%  disk %+.0f%%  net %+.0f%%\n",
+		rep.PhysicalDeltaBrowse.CPU*100, rep.PhysicalDeltaBrowse.RAM*100,
+		rep.PhysicalDeltaBrowse.Disk*100, rep.PhysicalDeltaBrowse.Network*100); err != nil {
+		return err
+	}
+	if err := p("Inter-tier lag (DB behind web): browse %.0fs (corr %.2f), bid %.0fs (corr %.2f)\n",
+		rep.LagBrowse.LagSeconds, rep.LagBrowse.Correlation,
+		rep.LagBid.LagSeconds, rep.LagBid.Correlation); err != nil {
+		return err
+	}
+	if err := p("Web RAM jumps: virt browse %d, virt bid %d, phys bid %d (paper: browse jumps in VMs; phys jumps earlier)\n",
+		rep.WebJumpsBrowseVirt, rep.WebJumpsBidVirt, rep.WebJumpsBidPhys); err != nil {
+		return err
+	}
+	if err := p("First web RAM jump: virt %.0fs, phys %.0fs\n", rep.FirstJumpVirt, rep.FirstJumpPhys); err != nil {
+		return err
+	}
+	return p("Disk CoV: virt %.2f vs phys %.2f (paper: higher variance non-virtualized)\n",
+		rep.DiskCoVVirt, rep.DiskCoVPhys)
+}

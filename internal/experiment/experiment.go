@@ -1,0 +1,439 @@
+// Package experiment assembles and runs the paper's experiments: the
+// RUBiS three-tier system under a chosen client mix, deployed either in
+// VMs on one Xen host (Section 4.1) or on two physical servers (Section
+// 4.2), profiled by the sysstat collector for 600 two-second samples.
+package experiment
+
+import (
+	"fmt"
+
+	"vwchar/internal/hw"
+	"vwchar/internal/osmodel"
+	"vwchar/internal/rng"
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+	"vwchar/internal/sysstat"
+	"vwchar/internal/tiers"
+	"vwchar/internal/timeseries"
+	"vwchar/internal/xen"
+)
+
+// Env selects the deployment.
+type Env string
+
+// Deployments.
+const (
+	// Virtualized runs both tiers in VMs on one Xen host (paper §4.1).
+	Virtualized Env = "virtualized"
+	// Physical runs each tier on its own bare-metal server (paper §4.2).
+	Physical Env = "physical"
+)
+
+// MixKind selects the client request composition.
+type MixKind string
+
+// The five compositions the paper tested.
+const (
+	MixBrowsing MixKind = "browsing"
+	MixBidding  MixKind = "bidding"
+	Mix30Browse MixKind = "30/70"
+	Mix50Browse MixKind = "50/50"
+	Mix70Browse MixKind = "70/30"
+)
+
+// Model returns the behaviour model for the mix.
+func (m MixKind) Model() rubis.Model {
+	switch m {
+	case MixBrowsing:
+		return rubis.BrowsingMix()
+	case MixBidding:
+		return rubis.BiddingMix()
+	case Mix30Browse:
+		return rubis.NewCompositeMix(0.3)
+	case Mix50Browse:
+		return rubis.NewCompositeMix(0.5)
+	case Mix70Browse:
+		return rubis.NewCompositeMix(0.7)
+	default:
+		panic(fmt.Sprintf("experiment: unknown mix %q", m))
+	}
+}
+
+// Config parameterizes one run. The zero value is not runnable; use
+// DefaultConfig.
+type Config struct {
+	Environment Env
+	Mix         MixKind
+	// Clients is the closed-loop population (paper: 1000).
+	Clients int
+	// Duration is the profiled window (paper: ~20 min -> 600 samples).
+	Duration sim.Time
+	Seed     uint64
+	Dataset  rubis.DatasetConfig
+	// KeepFullCatalog records all 182 metrics per target, not just the
+	// headline figure series.
+	KeepFullCatalog bool
+	// XenParams overrides the hypervisor cost model (nil: calibrated
+	// defaults). Used by ablation studies, e.g. zeroing the split-driver
+	// costs to isolate dom0's I/O backend share.
+	XenParams *xen.Params
+	// Pairs co-locates this many independent RUBiS instances (web VM +
+	// DB VM each) on the single virtualized host, up to the testbed's
+	// ten-VM limit. Zero or one means the paper's single-instance setup;
+	// values above one drive the consolidation study. Virtualized only.
+	Pairs int
+}
+
+// DefaultConfig returns the paper's experimental setup for env and mix.
+func DefaultConfig(env Env, mix MixKind) Config {
+	return Config{
+		Environment: env,
+		Mix:         mix,
+		Clients:     1000,
+		Duration:    1200 * sim.Second,
+		Seed:        42,
+		Dataset:     rubis.DefaultDataset(),
+	}
+}
+
+// Tier names used for collector targets and figure panels.
+const (
+	TierWeb  = "webapp"
+	TierDB   = "mysql"
+	TierDom0 = "dom0"
+)
+
+// PairStat is the per-instance outcome of a consolidated run.
+type PairStat struct {
+	Completed    uint64
+	MeanRespTime float64
+	P95RespTime  float64
+}
+
+// Result is one completed run.
+type Result struct {
+	Config    Config
+	Collector *sysstat.Collector
+
+	// PairStats has one entry per co-located RUBiS instance (length 1
+	// for the paper's default setup).
+	PairStats []PairStat
+
+	// Driver outcomes.
+	Completed     uint64
+	Errors        uint64
+	WriteFraction float64
+	MeanRespTime  float64
+	P95RespTime   float64
+	WebGrowths    int
+
+	// Virtualized-only accounting.
+	Attribution     xen.Dom0Attribution
+	GuestPhysCycles float64
+	PerfFinal       []xen.PerfCounter
+	// Dom0BuffersMB is dom0's final backend-buffer gauge (grant pools
+	// and netback/blkback rings), the I/O-attributed share of its RAM.
+	Dom0BuffersMB float64
+
+	// Physical-only accounting (cumulative host CPU cycles).
+	WebPMCycles, DBPMCycles float64
+
+	// Interactions tallies per type.
+	Interactions map[rubis.Interaction]uint64
+}
+
+// CPU returns the per-2s cycle demand series for tier ("webapp",
+// "mysql", "dom0").
+func (r *Result) CPU(tier string) *timeseries.Series { return r.Collector.CPU(tier) }
+
+// Mem returns the used-memory series (MB).
+func (r *Result) Mem(tier string) *timeseries.Series { return r.Collector.Mem(tier) }
+
+// Disk returns the per-2s disk read+write series (KB).
+func (r *Result) Disk(tier string) *timeseries.Series { return r.Collector.Disk(tier) }
+
+// Net returns the per-2s network rx+tx series (KB).
+func (r *Result) Net(tier string) *timeseries.Series { return r.Collector.Net(tier) }
+
+// Run executes the configured experiment to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Clients <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("experiment: need positive clients and duration")
+	}
+	pairs := cfg.Pairs
+	if pairs < 1 {
+		pairs = 1
+	}
+	if pairs > 5 {
+		return nil, fmt.Errorf("experiment: %d pairs exceed the testbed's ten-VM limit", pairs)
+	}
+	if pairs > 1 && cfg.Environment != Virtualized {
+		return nil, fmt.Errorf("experiment: consolidation requires the virtualized deployment")
+	}
+	k := sim.NewKernel()
+	src := rng.NewSource(cfg.Seed)
+	model := cfg.Mix.Model()
+	costs := rubis.DefaultCostParams()
+
+	res := &Result{Config: cfg}
+	var web *tiers.WebAppServer
+	var collector *sysstat.Collector
+	var hv *xen.Hypervisor
+	var drivers []*tiers.Driver
+	var app *rubis.App
+
+	switch cfg.Environment {
+	case Virtualized:
+		host := hw.NewServer(k, hw.ProLiantSpec("host0"))
+		xp := xen.DefaultParams()
+		if cfg.XenParams != nil {
+			xp = *cfg.XenParams
+		}
+		hv = xen.New(k, host, xp)
+		for p := 0; p < pairs; p++ {
+			appP, err := rubis.NewApp(cfg.Dataset, src.Stream(fmt.Sprintf("dataset-%d", p)))
+			if err != nil {
+				return nil, fmt.Errorf("experiment: dataset %d: %w", p, err)
+			}
+			webDom := hv.CreateGuest(fmt.Sprintf("webapp-vm-%d", p), 2, 2<<30, 256)
+			dbDom := hv.CreateGuest(fmt.Sprintf("mysql-vm-%d", p), 2, 2<<30, 256)
+			webDom.Mem.Set("kernel", 50e6)
+			dbDom.Mem.Set("kernel", 22e6)
+
+			webBE := &tiers.VMBackend{HV: hv, Dom: webDom, Peer: dbDom}
+			dbBE := &tiers.VMBackend{HV: hv, Dom: dbDom, Peer: webDom}
+			dbP := tiers.NewDBServer(k, dbBE, appP, tiers.DefaultDBParams("vm"))
+			webP := tiers.NewWebAppServer(k, webBE, dbP, tiers.DefaultWebParams("vm"))
+			drv := tiers.NewDriver(k, appP, model, webP, costs, cfg.Clients,
+				rng.NewSource(cfg.Seed+uint64(p)*7919))
+			drivers = append(drivers, drv)
+			if p == 0 {
+				app = appP
+				web = webP
+				collector = sysstat.NewCollector(k, cfg.KeepFullCatalog,
+					sysstat.Target{Name: TierWeb, Snap: vmSnapshot(k, webDom)},
+					sysstat.Target{Name: TierDB, Snap: vmSnapshot(k, dbDom)},
+					sysstat.Target{Name: TierDom0, Snap: dom0Snapshot(k, hv)},
+				)
+			}
+		}
+		_ = app
+
+	case Physical:
+		appP, err := rubis.NewApp(cfg.Dataset, src.Stream("dataset"))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: dataset: %w", err)
+		}
+		app = appP
+		webSrv := hw.NewServer(k, hw.ProLiantSpec("web-pm"))
+		dbSrv := hw.NewServer(k, hw.ProLiantSpec("db-pm"))
+		webOS := osmodel.New("web-pm", webSrv.Mem, 140)
+		dbOS := osmodel.New("db-pm", dbSrv.Mem, 135)
+		webSrv.Mem.Set("kernel", 90e6)
+		dbSrv.Mem.Set("kernel", 90e6)
+
+		webBE := tiers.NewPMBackend(k, webSrv, dbSrv, tiers.DefaultPMParams("web"), src.Stream("pm-web-noise"), webOS)
+		dbBE := tiers.NewPMBackend(k, dbSrv, webSrv, tiers.DefaultPMParams("db"), src.Stream("pm-db-noise"), dbOS)
+		db := tiers.NewDBServer(k, dbBE, app, tiers.DefaultDBParams("pm"))
+		web = tiers.NewWebAppServer(k, webBE, db, tiers.DefaultWebParams("pm"))
+		drivers = append(drivers, tiers.NewDriver(k, app, model, web, costs, cfg.Clients, src))
+
+		collector = sysstat.NewCollector(k, cfg.KeepFullCatalog,
+			sysstat.Target{Name: TierWeb, Snap: pmSnapshot(k, webSrv, webOS)},
+			sysstat.Target{Name: TierDB, Snap: pmSnapshot(k, dbSrv, dbOS)},
+		)
+		defer func() {
+			res.WebPMCycles = webSrv.CPU.TotalCycles()
+			res.DBPMCycles = dbSrv.CPU.TotalCycles()
+		}()
+
+	default:
+		return nil, fmt.Errorf("experiment: unknown environment %q", cfg.Environment)
+	}
+
+	collector.Start()
+	startLoadTicker(k, collector)
+	for _, drv := range drivers {
+		drv.Start()
+	}
+	k.Run(cfg.Duration)
+
+	res.Collector = collector
+	primary := drivers[0]
+	for _, drv := range drivers {
+		res.Completed += drv.Completed
+		res.Errors += drv.Errors
+		res.PairStats = append(res.PairStats, PairStat{
+			Completed:    drv.Completed,
+			MeanRespTime: drv.MeanResponseTime(),
+			P95RespTime:  drv.ResponseTimeQuantile(0.95),
+		})
+	}
+	res.WriteFraction = primary.WriteFraction()
+	res.MeanRespTime = primary.MeanResponseTime()
+	res.P95RespTime = primary.ResponseTimeQuantile(0.95)
+	res.WebGrowths = web.Growths()
+	res.Interactions = primary.InteractionCounts()
+	if hv != nil {
+		res.Attribution = hv.Attribution()
+		res.GuestPhysCycles = hv.GuestPhysCycles()
+		res.PerfFinal = hv.PerfCounters()
+		res.Dom0BuffersMB = hv.Dom0().Mem.Get("backend-buffers") / 1e6
+	}
+	return res, nil
+}
+
+// startLoadTicker advances each monitored OS's load averages every
+// sample period (the collector reads them as gauges).
+func startLoadTicker(k *sim.Kernel, c *sysstat.Collector) {
+	// Load averages are updated inside the snapshot functions; nothing
+	// additional is needed here. Kept as a seam for future per-second
+	// kernel housekeeping.
+	_ = k
+	_ = c
+}
+
+// vmSnapshot builds the snapshot closure for a guest domain.
+func vmSnapshot(k *sim.Kernel, d *xen.Domain) func() sysstat.Snapshot {
+	var lastTick sim.Time
+	return func() sysstat.Snapshot {
+		now := k.Now()
+		d.OS.Tick(now - lastTick)
+		lastTick = now
+		l1, l5, l15 := d.OS.LoadAvg()
+		return sysstat.Snapshot{
+			At:             now,
+			CPUCycles:      d.VirtCycles(),
+			CPUBusy:        d.CPU.BusyTime(),
+			StealTime:      d.StealTime(),
+			Cores:          d.VCPUs,
+			FreqHz:         2.8e9,
+			MemTotal:       d.Mem.Capacity(),
+			MemUsed:        d.Mem.Used(),
+			MemBuffers:     d.Mem.Used() * 0.04,
+			MemCached:      d.Mem.Get("dbcache") + d.Mem.Get("pagecache"),
+			DiskReadBytes:  d.DiskReadBytes,
+			DiskWriteBytes: d.DiskWrittenBytes,
+			DiskReadOps:    d.DiskOps / 2,
+			DiskWriteOps:   d.DiskOps - d.DiskOps/2,
+			NetRxBytes:     d.NetRxBytes,
+			NetTxBytes:     d.NetTxBytes,
+			NetRxPkts:      uint64(d.NetRxBytes/1500) + 1,
+			NetTxPkts:      uint64(d.NetTxBytes/1500) + 1,
+			CtxSwitches:    d.OS.CtxSwitches,
+			Interrupts:     d.OS.Interrupts,
+			SoftIRQs:       d.OS.SoftIRQs,
+			Forks:          d.OS.Forks,
+			Faults:         d.OS.Faults,
+			MajFaults:      d.OS.MajFaults,
+			PgInBytes:      d.OS.PgInBytes,
+			PgOutBytes:     d.OS.PgOutBytes,
+			Procs:          d.OS.Procs,
+			RunQueue:       d.OS.RunQueue,
+			Blocked:        d.OS.Blocked,
+			OpenFds:        d.OS.OpenFds,
+			TCPSocks:       40 + d.OS.RunQueue*2,
+			UDPSocks:       4,
+			Load1:          l1, Load5: l5, Load15: l15,
+		}
+	}
+}
+
+// dom0Snapshot builds the snapshot closure for the hypervisor's dom0:
+// its own CPU plus the physical disk and NIC it drives for the guests.
+func dom0Snapshot(k *sim.Kernel, hv *xen.Hypervisor) func() sysstat.Snapshot {
+	var lastTick sim.Time
+	d := hv.Dom0()
+	host := hv.Host()
+	return func() sysstat.Snapshot {
+		now := k.Now()
+		d.OS.Tick(now - lastTick)
+		lastTick = now
+		l1, l5, l15 := d.OS.LoadAvg()
+		rops, wops := host.Disk.Ops()
+		rpk, tpk := host.NIC.Packets()
+		return sysstat.Snapshot{
+			At:             now,
+			CPUCycles:      d.CPU.TotalCycles(),
+			CPUBusy:        d.CPU.BusyTime(),
+			Cores:          d.VCPUs,
+			FreqHz:         host.Spec.FreqHz,
+			MemTotal:       d.Mem.Capacity(),
+			MemUsed:        d.Mem.Used(),
+			MemBuffers:     d.Mem.Get("backend-buffers"),
+			MemCached:      d.Mem.Get("pagecache"),
+			DiskReadBytes:  host.Disk.ReadBytes(),
+			DiskWriteBytes: host.Disk.WrittenBytes(),
+			DiskReadOps:    rops,
+			DiskWriteOps:   wops,
+			DiskBusy:       host.Disk.BusyTime(),
+			NetRxBytes:     host.NIC.RxBytes(),
+			NetTxBytes:     host.NIC.TxBytes(),
+			NetRxPkts:      rpk,
+			NetTxPkts:      tpk,
+			CtxSwitches:    d.OS.CtxSwitches,
+			Interrupts:     d.OS.Interrupts,
+			SoftIRQs:       d.OS.SoftIRQs,
+			Forks:          d.OS.Forks,
+			Faults:         d.OS.Faults,
+			MajFaults:      d.OS.MajFaults,
+			PgInBytes:      d.OS.PgInBytes,
+			PgOutBytes:     d.OS.PgOutBytes,
+			Procs:          d.OS.Procs,
+			RunQueue:       d.OS.RunQueue,
+			Blocked:        d.OS.Blocked,
+			OpenFds:        d.OS.OpenFds,
+			TCPSocks:       35,
+			UDPSocks:       6,
+			Load1:          l1, Load5: l5, Load15: l15,
+		}
+	}
+}
+
+// pmSnapshot builds the snapshot closure for a bare-metal server.
+func pmSnapshot(k *sim.Kernel, srv *hw.Server, os *osmodel.OS) func() sysstat.Snapshot {
+	var lastTick sim.Time
+	return func() sysstat.Snapshot {
+		now := k.Now()
+		os.Tick(now - lastTick)
+		lastTick = now
+		l1, l5, l15 := os.LoadAvg()
+		rops, wops := srv.Disk.Ops()
+		rpk, tpk := srv.NIC.Packets()
+		return sysstat.Snapshot{
+			At:             now,
+			CPUCycles:      srv.CPU.TotalCycles(),
+			CPUBusy:        srv.CPU.BusyTime(),
+			Cores:          srv.Spec.Cores,
+			FreqHz:         srv.Spec.FreqHz,
+			MemTotal:       srv.Mem.Capacity(),
+			MemUsed:        srv.Mem.Used(),
+			MemBuffers:     srv.Mem.Used() * 0.05,
+			MemCached:      srv.Mem.Get("dbcache") + srv.Mem.Get("pagecache"),
+			DiskReadBytes:  srv.Disk.ReadBytes(),
+			DiskWriteBytes: srv.Disk.WrittenBytes(),
+			DiskReadOps:    rops,
+			DiskWriteOps:   wops,
+			DiskBusy:       srv.Disk.BusyTime(),
+			NetRxBytes:     srv.NIC.RxBytes(),
+			NetTxBytes:     srv.NIC.TxBytes(),
+			NetRxPkts:      rpk,
+			NetTxPkts:      tpk,
+			CtxSwitches:    os.CtxSwitches,
+			Interrupts:     os.Interrupts,
+			SoftIRQs:       os.SoftIRQs,
+			Forks:          os.Forks,
+			Faults:         os.Faults,
+			MajFaults:      os.MajFaults,
+			PgInBytes:      os.PgInBytes,
+			PgOutBytes:     os.PgOutBytes,
+			Procs:          os.Procs,
+			RunQueue:       os.RunQueue,
+			Blocked:        os.Blocked,
+			OpenFds:        os.OpenFds,
+			TCPSocks:       60 + os.RunQueue*2,
+			UDPSocks:       5,
+			Load1:          l1, Load5: l5, Load15: l15,
+		}
+	}
+}

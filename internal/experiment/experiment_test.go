@@ -1,0 +1,293 @@
+package experiment
+
+import (
+	"testing"
+
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+)
+
+// shortConfig runs a scaled-down experiment quickly.
+func shortConfig(env Env, mix MixKind) Config {
+	cfg := DefaultConfig(env, mix)
+	cfg.Clients = 200
+	cfg.Duration = 90 * sim.Second
+	cfg.Dataset = rubis.DatasetConfig{
+		Regions: 20, Categories: 10, Users: 1500,
+		ActiveItems: 500, OldItems: 900,
+		BidsPerItem: 4, CommentsPerUser: 1, BufferPages: 200,
+	}
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := shortConfig(Virtualized, MixBrowsing)
+	cfg.Clients = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero clients should error")
+	}
+	cfg = shortConfig(Virtualized, MixBrowsing)
+	cfg.Environment = "mainframe"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown environment should error")
+	}
+}
+
+func TestMixModels(t *testing.T) {
+	for _, mix := range []MixKind{MixBrowsing, MixBidding, Mix30Browse, Mix50Browse, Mix70Browse} {
+		m := mix.Model()
+		if m.MixName() == "" {
+			t.Fatalf("%s has empty model name", mix)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown mix should panic")
+		}
+	}()
+	MixKind("zzz").Model()
+}
+
+func TestVirtualizedRunEndToEnd(t *testing.T) {
+	r, err := Run(shortConfig(Virtualized, MixBrowsing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 || r.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d", r.Completed, r.Errors)
+	}
+	// 90 s at 2 s sampling = 45 samples.
+	for _, tier := range []string{TierWeb, TierDB, TierDom0} {
+		if got := r.CPU(tier).Len(); got != 45 {
+			t.Fatalf("%s cpu samples = %d", tier, got)
+		}
+		if r.CPU(tier).Sum() <= 0 {
+			t.Fatalf("%s cpu demand is zero", tier)
+		}
+		if r.Mem(tier).Mean() <= 0 {
+			t.Fatalf("%s memory is zero", tier)
+		}
+		if r.Net(tier).Sum() <= 0 {
+			t.Fatalf("%s network is zero", tier)
+		}
+	}
+	// Virtual cycle counters dwarf dom0's physical counters (paper).
+	vmCPU := r.CPU(TierWeb).Mean() + r.CPU(TierDB).Mean()
+	if vmCPU <= r.CPU(TierDom0).Mean() {
+		t.Fatal("VM cycle counters should exceed dom0's")
+	}
+	if r.GuestPhysCycles <= 0 {
+		t.Fatal("guest physical attribution missing")
+	}
+	if r.Attribution.BackendCycles <= 0 || r.Attribution.OwnCycles <= 0 {
+		t.Fatalf("dom0 attribution incomplete: %+v", r.Attribution)
+	}
+	if len(r.PerfFinal) != 154 {
+		t.Fatalf("perf counters = %d", len(r.PerfFinal))
+	}
+	if r.Dom0BuffersMB <= 0 {
+		t.Fatal("dom0 buffers gauge missing")
+	}
+	if len(r.Interactions) < 5 {
+		t.Fatalf("only %d interaction kinds", len(r.Interactions))
+	}
+}
+
+func TestPhysicalRunEndToEnd(t *testing.T) {
+	r, err := Run(shortConfig(Physical, MixBidding))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	for _, tier := range []string{TierWeb, TierDB} {
+		if r.CPU(tier).Sum() <= 0 {
+			t.Fatalf("%s cpu zero", tier)
+		}
+	}
+	if r.Collector.CPU(TierDom0) != nil {
+		t.Fatal("physical run should have no dom0 target")
+	}
+	if r.WebPMCycles <= 0 || r.DBPMCycles <= 0 {
+		t.Fatal("PM cumulative cycles missing")
+	}
+	if r.WriteFraction <= 0 {
+		t.Fatal("bidding run should report writes")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(shortConfig(Virtualized, MixBrowsing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shortConfig(Virtualized, MixBrowsing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed {
+		t.Fatalf("request counts differ: %d vs %d", a.Completed, b.Completed)
+	}
+	sa, sb := a.CPU(TierWeb), b.CPU(TierWeb)
+	for i := 0; i < sa.Len(); i++ {
+		if sa.At(i) != sb.At(i) {
+			t.Fatalf("cpu series diverges at sample %d: %v vs %v", i, sa.At(i), sb.At(i))
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	cfg := shortConfig(Virtualized, MixBrowsing)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 777
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < a.CPU(TierWeb).Len(); i++ {
+		if a.CPU(TierWeb).At(i) == b.CPU(TierWeb).At(i) {
+			same++
+		}
+	}
+	if same == a.CPU(TierWeb).Len() {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFullCatalogRecording(t *testing.T) {
+	cfg := shortConfig(Virtualized, MixBrowsing)
+	cfg.KeepFullCatalog = true
+	cfg.Clients = 80
+	cfg.Duration = 45 * sim.Second
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Collector.Metric(TierDom0, "%user [all]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() == 0 || s.Max() <= 0 {
+		t.Fatal("dom0 %user should be recorded and positive")
+	}
+	s, err = r.Collector.Metric(TierWeb, "cswch/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Max() <= 0 {
+		t.Fatal("web cswch/s should be positive under load")
+	}
+}
+
+func TestFigureSpecsAndBuild(t *testing.T) {
+	specs := FigureSpecs()
+	if len(specs) != 8 {
+		t.Fatalf("figure specs = %d", len(specs))
+	}
+	browse, err := Run(shortConfig(Virtualized, MixBrowsing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, err := Run(shortConfig(Virtualized, MixBidding))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 4; id++ {
+		fig, err := BuildFigure(id, browse, bid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Panels) != 3 {
+			t.Fatalf("figure %d panels = %d, want 3 (web, db, dom0)", id, len(fig.Panels))
+		}
+		for _, p := range fig.Panels {
+			if p.Browse.Len() == 0 || p.Bid.Len() == 0 {
+				t.Fatalf("figure %d panel %q has empty series", id, p.Title)
+			}
+			if p.Browse.Name != "browse" || p.Bid.Name != "bid" {
+				t.Fatalf("panel series mislabeled: %q/%q", p.Browse.Name, p.Bid.Name)
+			}
+		}
+	}
+	// Environment mismatch is rejected.
+	if _, err := BuildFigure(5, browse, bid); err == nil {
+		t.Fatal("figure 5 needs physical runs")
+	}
+	if _, err := BuildFigure(99, browse, bid); err == nil {
+		t.Fatal("unknown figure id should error")
+	}
+}
+
+func TestPhysicalFigures(t *testing.T) {
+	browse, err := Run(shortConfig(Physical, MixBrowsing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, err := Run(shortConfig(Physical, MixBidding))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 5; id <= 8; id++ {
+		fig, err := BuildFigure(id, browse, bid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Panels) != 2 {
+			t.Fatalf("figure %d panels = %d, want 2 (no dom0)", id, len(fig.Panels))
+		}
+	}
+}
+
+func TestConsolidationValidation(t *testing.T) {
+	cfg := shortConfig(Physical, MixBrowsing)
+	cfg.Pairs = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("physical consolidation should error")
+	}
+	cfg = shortConfig(Virtualized, MixBrowsing)
+	cfg.Pairs = 6
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("six pairs exceed the ten-VM limit and should error")
+	}
+}
+
+func TestConsolidationRunsMultiplePairs(t *testing.T) {
+	cfg := shortConfig(Virtualized, MixBrowsing)
+	cfg.Clients = 100
+	cfg.Duration = 60 * sim.Second
+	cfg.Pairs = 3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PairStats) != 3 {
+		t.Fatalf("pair stats = %d", len(r.PairStats))
+	}
+	var total uint64
+	for i, ps := range r.PairStats {
+		if ps.Completed == 0 {
+			t.Fatalf("pair %d served nothing", i)
+		}
+		total += ps.Completed
+	}
+	if total != r.Completed {
+		t.Fatalf("pair sum %d != total %d", total, r.Completed)
+	}
+	// Consolidation multiplies dom0's backend work versus one pair.
+	single := shortConfig(Virtualized, MixBrowsing)
+	single.Clients = 100
+	single.Duration = 60 * sim.Second
+	one, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPU(TierDom0).Mean() <= one.CPU(TierDom0).Mean() {
+		t.Fatalf("dom0 demand should grow with consolidation: %v vs %v",
+			r.CPU(TierDom0).Mean(), one.CPU(TierDom0).Mean())
+	}
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+
+	"vwchar/internal/timeseries"
+)
+
+// Panel is one sub-figure: the same metric for browse and bid runs of
+// one tier, exactly as the paper overlays the two curves per panel.
+type Panel struct {
+	// Title matches the paper's sub-figure caption, e.g. "Web+App. (VM)".
+	Title string
+	// Unit labels the Y axis.
+	Unit string
+	// Browse and Bid are the two overlaid curves.
+	Browse, Bid *timeseries.Series
+}
+
+// Figure is one of the paper's Figures 1-8.
+type Figure struct {
+	ID      int
+	Caption string
+	// Env tells which runs the figure needs.
+	Env    Env
+	Panels []Panel
+}
+
+// FigureSpec describes a figure before results exist.
+type FigureSpec struct {
+	ID       int
+	Caption  string
+	Env      Env
+	Resource string // "cpu", "ram", "disk", "net"
+}
+
+// FigureSpecs lists all eight figures of the paper's evaluation.
+func FigureSpecs() []FigureSpec {
+	return []FigureSpec{
+		{1, "CPU cycle demands by the web/application and database servers in VMs and the hypervisor (dom0)", Virtualized, "cpu"},
+		{2, "RAM demands by the web/application and database servers in VMs and the hypervisor", Virtualized, "ram"},
+		{3, "Disk read and write by the web/application and database servers in VMs and the hypervisor", Virtualized, "disk"},
+		{4, "Network data received and transmitted by the web/application and database servers in VMs and the hypervisor", Virtualized, "net"},
+		{5, "CPU cycle demands by the web/application and database servers (physical machines)", Physical, "cpu"},
+		{6, "RAM demands by the web/application and database servers (physical machines)", Physical, "ram"},
+		{7, "Disk read and write by the web/application and database servers (physical machines)", Physical, "disk"},
+		{8, "Network data received and transmitted by the web/application and database servers (physical machines)", Physical, "net"},
+	}
+}
+
+func seriesFor(r *Result, tier, resource string) *timeseries.Series {
+	switch resource {
+	case "cpu":
+		return r.CPU(tier)
+	case "ram":
+		return r.Mem(tier)
+	case "disk":
+		return r.Disk(tier)
+	case "net":
+		return r.Net(tier)
+	default:
+		panic(fmt.Sprintf("experiment: unknown resource %q", resource))
+	}
+}
+
+func unitFor(resource, env string) string {
+	prefix := "virtualized"
+	if env == string(Physical) {
+		prefix = "physical"
+	}
+	switch resource {
+	case "cpu":
+		return prefix + " CPU cycles / 2s"
+	case "ram":
+		return prefix + " used memory (MB)"
+	case "disk":
+		return prefix + " data read & written (KB / 2s)"
+	case "net":
+		return prefix + " data received & transmitted (KB / 2s)"
+	}
+	return ""
+}
+
+// BuildFigure assembles figure id from a (browse, bid) run pair of the
+// right environment. The run environments must match the figure's.
+func BuildFigure(id int, browse, bid *Result) (Figure, error) {
+	var spec *FigureSpec
+	for _, s := range FigureSpecs() {
+		if s.ID == id {
+			s := s
+			spec = &s
+			break
+		}
+	}
+	if spec == nil {
+		return Figure{}, fmt.Errorf("experiment: no figure %d", id)
+	}
+	for _, r := range []*Result{browse, bid} {
+		if r.Config.Environment != spec.Env {
+			return Figure{}, fmt.Errorf("experiment: figure %d needs %s runs, got %s",
+				id, spec.Env, r.Config.Environment)
+		}
+	}
+	fig := Figure{ID: id, Caption: spec.Caption, Env: spec.Env}
+	type tierPanel struct{ tier, title string }
+	panels := []tierPanel{
+		{TierWeb, "Web+App."},
+		{TierDB, "Mysql"},
+	}
+	suffix := " (VM)"
+	if spec.Env == Physical {
+		suffix = " (PM)"
+	}
+	for i := range panels {
+		panels[i].title += suffix
+	}
+	if spec.Env == Virtualized {
+		panels = append(panels, tierPanel{TierDom0, "Domain0"})
+	}
+	for _, p := range panels {
+		b := seriesFor(browse, p.tier, spec.Resource).Clone("browse")
+		d := seriesFor(bid, p.tier, spec.Resource).Clone("bid")
+		fig.Panels = append(fig.Panels, Panel{
+			Title:  p.title,
+			Unit:   unitFor(spec.Resource, string(spec.Env)),
+			Browse: b,
+			Bid:    d,
+		})
+	}
+	return fig, nil
+}

@@ -1,0 +1,232 @@
+// Package hw models the physical resources of a cloud server: a
+// multi-core processor-sharing CPU, a disk with seek+transfer service
+// times, a network interface, and RAM accounting. The default profile
+// matches the paper's testbed (HP ProLiant: 8 Intel Xeon 2.8 GHz cores,
+// 32 GB RAM, 2 TB disk, gigabit Ethernet).
+//
+// All devices are driven by the discrete-event kernel in internal/sim and
+// maintain cumulative demand counters that the sysstat collector samples
+// every 2 seconds, exactly as the paper's monitoring did.
+package hw
+
+import (
+	"math"
+
+	"fmt"
+
+	"vwchar/internal/sim"
+)
+
+// CPU is a processor-sharing multi-core CPU. Up to Cores jobs run at full
+// speed; beyond that, capacity is divided equally (the classic PS model
+// of a time-sharing OS scheduler at 2-second observation granularity).
+//
+// Speed scaling: SetSpeed adjusts the effective capacity, which is how
+// the Xen credit scheduler throttles a domain's VCPUs without the devices
+// knowing they are virtualized.
+type CPU struct {
+	k       *sim.Kernel
+	name    string
+	cores   int
+	freqHz  float64
+	speed   float64 // multiplier applied by a hypervisor scheduler
+	jobs    map[*cpuJob]struct{}
+	nextSeq uint64
+
+	lastUpdate sim.Time
+	completion *sim.Event
+
+	// cumulative counters (sampled by the collector)
+	totalCycles float64
+	busyTime    sim.Time
+	jobCount    uint64
+}
+
+type cpuJob struct {
+	remaining float64 // cycles
+	done      func()
+	seq       uint64
+}
+
+// NewCPU builds a CPU with the given core count and per-core frequency.
+func NewCPU(k *sim.Kernel, name string, cores int, freqHz float64) *CPU {
+	if cores <= 0 {
+		panic(fmt.Sprintf("hw: CPU %q needs >=1 core", name))
+	}
+	if freqHz <= 0 {
+		panic(fmt.Sprintf("hw: CPU %q needs positive frequency", name))
+	}
+	return &CPU{
+		k:      k,
+		name:   name,
+		cores:  cores,
+		freqHz: freqHz,
+		speed:  1,
+		jobs:   make(map[*cpuJob]struct{}),
+	}
+}
+
+// Cores reports the configured core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// FreqHz reports the per-core frequency.
+func (c *CPU) FreqHz() float64 { return c.freqHz }
+
+// Active reports the number of in-flight jobs.
+func (c *CPU) Active() int { return len(c.jobs) }
+
+// TotalCycles reports the cumulative cycles executed so far.
+func (c *CPU) TotalCycles() float64 {
+	c.advance()
+	return c.totalCycles
+}
+
+// BusyTime reports cumulative virtual time with at least one job running.
+func (c *CPU) BusyTime() sim.Time {
+	c.advance()
+	return c.busyTime
+}
+
+// Jobs reports the cumulative number of submitted jobs.
+func (c *CPU) Jobs() uint64 { return c.jobCount }
+
+// perJobRate returns cycles/second granted to each active job.
+func (c *CPU) perJobRate() float64 {
+	n := len(c.jobs)
+	if n == 0 {
+		return 0
+	}
+	rate := c.freqHz * c.speed
+	if n > c.cores {
+		rate *= float64(c.cores) / float64(n)
+	}
+	return rate
+}
+
+// advance drains remaining cycles for the elapsed interval.
+func (c *CPU) advance() {
+	now := c.k.Now()
+	dt := now - c.lastUpdate
+	if dt <= 0 {
+		c.lastUpdate = now
+		return
+	}
+	if len(c.jobs) > 0 {
+		rate := c.perJobRate()
+		drained := rate * float64(dt) / float64(sim.Second)
+		for j := range c.jobs {
+			j.remaining -= drained
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		c.totalCycles += drained * float64(len(c.jobs))
+		c.busyTime += dt
+	}
+	c.lastUpdate = now
+}
+
+// reschedule computes the next completion time and plants one event.
+func (c *CPU) reschedule() {
+	if c.completion != nil {
+		c.completion.Cancel()
+		c.completion = nil
+	}
+	if len(c.jobs) == 0 {
+		return
+	}
+	rate := c.perJobRate()
+	if rate <= 0 {
+		// Domain currently descheduled: work is frozen until SetSpeed
+		// grants capacity again.
+		return
+	}
+	var next *cpuJob
+	for j := range c.jobs {
+		if next == nil || j.remaining < next.remaining ||
+			(j.remaining == next.remaining && j.seq < next.seq) {
+			next = j
+		}
+	}
+	// Round the completion delay up to a whole nanosecond. Rounding down
+	// would leave sub-nanosecond residues that re-fire at the same
+	// timestamp forever; together with the epsilon in complete() this
+	// guarantees progress.
+	delay := sim.Time(math.Ceil(next.remaining / rate * float64(sim.Second)))
+	if delay < 1 {
+		delay = 1
+	}
+	c.completion = c.k.After(delay, c.complete)
+}
+
+// complete retires every job whose demand has drained. The epsilon is
+// one nanosecond of work at the current rate: below that the job cannot
+// be distinguished from done at the kernel's time resolution.
+func (c *CPU) complete() {
+	c.completion = nil
+	c.advance()
+	eps := c.perJobRate() * 1e-9
+	if eps < 1e-6 {
+		eps = 1e-6
+	}
+	var finished []*cpuJob
+	for j := range c.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+		}
+	}
+	// Deterministic completion order.
+	for i := 0; i < len(finished); i++ {
+		for j := i + 1; j < len(finished); j++ {
+			if finished[j].seq < finished[i].seq {
+				finished[i], finished[j] = finished[j], finished[i]
+			}
+		}
+	}
+	for _, j := range finished {
+		delete(c.jobs, j)
+	}
+	c.reschedule()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// Submit enqueues cycles of CPU demand; done fires when they have been
+// executed. Zero or negative demand completes on the next event tick.
+func (c *CPU) Submit(cycles float64, done func()) {
+	c.advance()
+	if cycles < 0 {
+		cycles = 0
+	}
+	j := &cpuJob{remaining: cycles, done: done, seq: c.nextSeq}
+	c.nextSeq++
+	c.jobCount++
+	c.jobs[j] = struct{}{}
+	c.reschedule()
+}
+
+// SetSpeed scales effective capacity by factor (>=0). The hypervisor's
+// credit scheduler calls this each quantum; factor 0 freezes the domain.
+func (c *CPU) SetSpeed(factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	c.advance()
+	c.speed = factor
+	c.reschedule()
+}
+
+// Speed reports the current scaling factor.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// Utilization reports the busy fraction over the window ending now,
+// given the counter value at the window start.
+func (c *CPU) Utilization(busyAtStart sim.Time, window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.BusyTime()-busyAtStart) / float64(window)
+}

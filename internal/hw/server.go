@@ -1,0 +1,55 @@
+package hw
+
+import "vwchar/internal/sim"
+
+// Spec describes a physical server's hardware.
+type Spec struct {
+	Name string
+	// Cores and FreqHz describe the processor.
+	Cores  int
+	FreqHz float64
+	// RAMBytes is installed memory.
+	RAMBytes float64
+	// DiskSeek and DiskBytesPerS describe the storage device.
+	DiskSeek      sim.Time
+	DiskBytesPerS float64
+	// NICLatency and NICBytesPerS describe the network interface.
+	NICLatency   sim.Time
+	NICBytesPerS float64
+}
+
+// ProLiantSpec returns the paper's testbed server profile: 8 Intel Xeon
+// 2.8 GHz cores, 32 GB RAM, 2 TB disk (7.2k SATA-class service model),
+// gigabit Ethernet.
+func ProLiantSpec(name string) Spec {
+	return Spec{
+		Name:          name,
+		Cores:         8,
+		FreqHz:        2.8e9,
+		RAMBytes:      32 << 30,
+		DiskSeek:      4 * sim.Millisecond,
+		DiskBytesPerS: 120e6, // ~120 MB/s sequential
+		NICLatency:    100 * sim.Microsecond,
+		NICBytesPerS:  125e6, // 1 Gbit/s
+	}
+}
+
+// Server composes the devices of one physical machine.
+type Server struct {
+	Spec Spec
+	CPU  *CPU
+	Disk *Disk
+	NIC  *NIC
+	Mem  *Memory
+}
+
+// NewServer instantiates the devices described by spec on kernel k.
+func NewServer(k *sim.Kernel, spec Spec) *Server {
+	return &Server{
+		Spec: spec,
+		CPU:  NewCPU(k, spec.Name+".cpu", spec.Cores, spec.FreqHz),
+		Disk: NewDisk(k, spec.Name+".disk", spec.DiskSeek, spec.DiskBytesPerS),
+		NIC:  NewNIC(k, spec.Name+".nic", spec.NICLatency, spec.NICBytesPerS),
+		Mem:  NewMemory(spec.RAMBytes),
+	}
+}

@@ -1,0 +1,291 @@
+// Package model implements the paper's stated future work: "design and
+// apply formal methods to model the workload dynamics at both resource
+// level and transaction level".
+//
+// Resource level: each collected demand series is fitted with a marginal
+// distribution (best of normal/lognormal/exponential by KS distance) plus
+// an AR(1) temporal dependence, which together can synthesize new traces
+// with the same stationary statistics — the histogram/analytic workload
+// models of the paper's references [7] and [13].
+//
+// Transaction level: each RUBiS interaction type gets a measured resource
+// footprint (web cycles, DB cycles, transfer and storage bytes); combined
+// with a mix's stationary state distribution this predicts aggregate tier
+// demand for any composition and request rate without running the full
+// simulation.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vwchar/internal/experiment"
+	"vwchar/internal/rng"
+	"vwchar/internal/rubis"
+	"vwchar/internal/stats"
+	"vwchar/internal/timeseries"
+)
+
+// SeriesModel is the fitted resource-level model of one demand series.
+type SeriesModel struct {
+	// Name identifies the modeled series.
+	Name string
+	// Dist is the fitted marginal distribution.
+	Dist stats.Distribution
+	// KS is the Kolmogorov-Smirnov distance of the fit.
+	KS float64
+	// Phi is the lag-1 autocorrelation (AR(1) coefficient).
+	Phi float64
+	// Mean and Std are the sample moments.
+	Mean, Std float64
+}
+
+// FitSeries fits the resource-level model to a series.
+func FitSeries(s *timeseries.Series) (SeriesModel, error) {
+	if s.Len() < 10 {
+		return SeriesModel{}, fmt.Errorf("model: series %q too short (%d samples)", s.Name, s.Len())
+	}
+	sum := stats.Summarize(s.Values)
+	dist, ks, err := stats.BestFit(s.Values)
+	if err != nil {
+		return SeriesModel{}, fmt.Errorf("model: series %q: %w", s.Name, err)
+	}
+	phi := stats.Autocorrelation(s.Values, 1)
+	// Clamp into the stationary region.
+	if phi > 0.99 {
+		phi = 0.99
+	}
+	if phi < -0.99 {
+		phi = -0.99
+	}
+	return SeriesModel{
+		Name: s.Name,
+		Dist: dist,
+		KS:   ks,
+		Phi:  phi,
+		Mean: sum.Mean,
+		Std:  sum.Std,
+	}, nil
+}
+
+// Synthesize generates n samples from the fitted model: an AR(1) process
+// with the sample mean/variance and Phi, truncated at zero (demand
+// counters are non-negative). The marginal is Gaussian-approximate; the
+// fitted Dist records which family described the data best.
+func (m SeriesModel) Synthesize(n int, r *rng.Stream) *timeseries.Series {
+	out := timeseries.New(m.Name+".synth", "modeled")
+	if n <= 0 {
+		return out
+	}
+	innovStd := m.Std * math.Sqrt(1-m.Phi*m.Phi)
+	x := m.Mean + m.Std*r.Normal(0, 1)
+	for i := 0; i < n; i++ {
+		if x < 0 {
+			x = 0
+		}
+		out.Append(x)
+		x = m.Mean + m.Phi*(x-m.Mean) + innovStd*r.Normal(0, 1)
+	}
+	return out
+}
+
+// String renders the model for reports.
+func (m SeriesModel) String() string {
+	return fmt.Sprintf("%s ~ %s(%s), KS=%.3f, AR1 phi=%.2f",
+		m.Name, m.Dist.Name(), m.Dist.Params(), m.KS, m.Phi)
+}
+
+// WorkloadModel is the resource-level model of one experiment: one
+// SeriesModel per tier and resource.
+type WorkloadModel struct {
+	Environment experiment.Env
+	Mix         experiment.MixKind
+	// Series is keyed "tier/resource", e.g. "webapp/cpu".
+	Series map[string]SeriesModel
+}
+
+// resourceSeries enumerates the headline series of a result.
+func resourceSeries(res *experiment.Result) map[string]*timeseries.Series {
+	tiers := []string{experiment.TierWeb, experiment.TierDB}
+	if res.Config.Environment == experiment.Virtualized {
+		tiers = append(tiers, experiment.TierDom0)
+	}
+	out := make(map[string]*timeseries.Series)
+	for _, tier := range tiers {
+		out[tier+"/cpu"] = res.CPU(tier)
+		out[tier+"/ram"] = res.Mem(tier)
+		out[tier+"/disk"] = res.Disk(tier)
+		out[tier+"/net"] = res.Net(tier)
+	}
+	return out
+}
+
+// Fit builds the workload model from a completed run. Series that no
+// distribution family can describe (for example all-zero traces) are
+// skipped; at least one series must fit.
+func Fit(res *experiment.Result) (*WorkloadModel, error) {
+	wm := &WorkloadModel{
+		Environment: res.Config.Environment,
+		Mix:         res.Config.Mix,
+		Series:      make(map[string]SeriesModel),
+	}
+	for key, s := range resourceSeries(res) {
+		m, err := FitSeries(s)
+		if err != nil {
+			continue
+		}
+		wm.Series[key] = m
+	}
+	if len(wm.Series) == 0 {
+		return nil, fmt.Errorf("model: no series could be fitted")
+	}
+	return wm, nil
+}
+
+// Keys lists the fitted series keys in sorted order.
+func (wm *WorkloadModel) Keys() []string {
+	keys := make([]string, 0, len(wm.Series))
+	for k := range wm.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TransactionFootprint is the measured mean resource demand of one
+// interaction type.
+type TransactionFootprint struct {
+	Interaction rubis.Interaction
+	// Samples is how many executions the footprint averages.
+	Samples int
+	// WebCycles and DBCycles are per-request compute demands.
+	WebCycles, DBCycles float64
+	// RequestBytes/ResponseBytes cross the client link; ToDB/FromDB
+	// cross the inter-tier link.
+	RequestBytes, ResponseBytes float64
+	ToDB, FromDB                float64
+	// DiskReadBytes/DiskWriteBytes are the DB tier's storage demand.
+	DiskReadBytes, DiskWriteBytes float64
+	// WriteFraction is 1 for read-write interactions.
+	WriteFraction float64
+}
+
+// TransactionModel maps every interaction to its footprint plus the
+// stationary state distribution of a mix.
+type TransactionModel struct {
+	Footprints map[rubis.Interaction]TransactionFootprint
+}
+
+// FitTransactions measures each interaction's footprint by executing it
+// samplesPer times against a fresh application instance.
+func FitTransactions(cfg rubis.DatasetConfig, samplesPer int, seed uint64) (*TransactionModel, error) {
+	if samplesPer < 1 {
+		return nil, fmt.Errorf("model: need at least one sample per interaction")
+	}
+	src := rng.NewSource(seed)
+	app, err := rubis.NewApp(cfg, src.Stream("model-dataset"))
+	if err != nil {
+		return nil, err
+	}
+	r := src.Stream("model-exec")
+	params := rubis.DefaultCostParams()
+	tm := &TransactionModel{Footprints: make(map[rubis.Interaction]TransactionFootprint)}
+	sess := &rubis.Session{UserID: 1, ItemID: 1, CategoryID: 0, RegionID: 0, ToUserID: 2}
+	for _, kind := range rubis.AllInteractions() {
+		fp := TransactionFootprint{Interaction: kind}
+		for i := 0; i < samplesPer; i++ {
+			// Refresh the session focus so footprints average across the
+			// dataset rather than one hot row.
+			sess.ItemID = int64(r.Intn(int(app.TotalItems())))
+			sess.ToUserID = int64(r.Intn(int(app.TotalUsers())))
+			sess.CategoryID = int64(r.Intn(cfg.Categories))
+			sess.RegionID = int64(r.Intn(cfg.Regions))
+			res, err := app.Execute(kind, sess, r, params)
+			if err != nil {
+				return nil, fmt.Errorf("model: %s: %w", kind, err)
+			}
+			fp.Samples++
+			fp.WebCycles += res.WebCycles
+			fp.DBCycles += res.TotalDBCycles()
+			fp.RequestBytes += res.RequestBytes
+			fp.ResponseBytes += res.ResponseBytes
+			toDB, fromDB := res.DBTransferBytes()
+			fp.ToDB += toDB
+			fp.FromDB += fromDB
+			for _, q := range res.Queries {
+				fp.DiskReadBytes += q.Receipt.DiskReadBytes
+				fp.DiskWriteBytes += q.Receipt.DiskWriteBytes
+			}
+			if res.IsWrite {
+				fp.WriteFraction++
+			}
+		}
+		n := float64(fp.Samples)
+		fp.WebCycles /= n
+		fp.DBCycles /= n
+		fp.RequestBytes /= n
+		fp.ResponseBytes /= n
+		fp.ToDB /= n
+		fp.FromDB /= n
+		fp.DiskReadBytes /= n
+		fp.DiskWriteBytes /= n
+		fp.WriteFraction /= n
+		tm.Footprints[kind] = fp
+	}
+	return tm, nil
+}
+
+// StationaryDistribution estimates the long-run interaction frequencies
+// of a mix by walking its chain.
+func StationaryDistribution(m rubis.Model, steps int, seed uint64) map[rubis.Interaction]float64 {
+	r := rng.NewSource(seed).Stream("stationary")
+	counts := make(map[rubis.Interaction]int)
+	cur := m.StartState()
+	for i := 0; i < steps; i++ {
+		cur = m.NextInteraction(cur, r)
+		counts[cur]++
+	}
+	out := make(map[rubis.Interaction]float64, len(counts))
+	for k, v := range counts {
+		out[k] = float64(v) / float64(steps)
+	}
+	return out
+}
+
+// DemandPrediction is the transaction-level aggregate demand forecast.
+type DemandPrediction struct {
+	// RequestsPerSecond is the assumed arrival rate.
+	RequestsPerSecond float64
+	// WebCyclesPer2s and DBCyclesPer2s predict the tier CPU series means.
+	WebCyclesPer2s, DBCyclesPer2s float64
+	// WebNetKBPer2s and DBNetKBPer2s predict the tier network means.
+	WebNetKBPer2s, DBNetKBPer2s float64
+	// DBDiskKBPer2s predicts the DB tier's storage demand.
+	DBDiskKBPer2s float64
+	// WriteFraction predicts the read-write share.
+	WriteFraction float64
+}
+
+// Predict composes footprints with a mix's stationary distribution at
+// the given request rate.
+func (tm *TransactionModel) Predict(mix rubis.Model, reqPerSec float64, steps int, seed uint64) DemandPrediction {
+	dist := StationaryDistribution(mix, steps, seed)
+	var p DemandPrediction
+	p.RequestsPerSecond = reqPerSec
+	per2s := reqPerSec * 2
+	for kind, freq := range dist {
+		fp, ok := tm.Footprints[kind]
+		if !ok {
+			continue
+		}
+		w := freq * per2s
+		p.WebCyclesPer2s += w * fp.WebCycles
+		p.DBCyclesPer2s += w * fp.DBCycles
+		p.WebNetKBPer2s += w * (fp.RequestBytes + fp.ResponseBytes + fp.ToDB + fp.FromDB) / 1024
+		p.DBNetKBPer2s += w * (fp.ToDB + fp.FromDB) / 1024
+		p.DBDiskKBPer2s += w * (fp.DiskReadBytes + fp.DiskWriteBytes) / 1024
+		p.WriteFraction += freq * fp.WriteFraction
+	}
+	return p
+}

@@ -1,0 +1,172 @@
+// Package plot renders time series as ASCII line charts for the
+// terminal, which is how this reproduction "draws" the paper's figures
+// (the same data is exported as CSV for external plotting).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"vwchar/internal/timeseries"
+)
+
+// Options controls chart rendering.
+type Options struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// YLabel names the value axis.
+	YLabel string
+	// Markers are the glyphs per series, cycled ('*', '+', ...).
+	Markers []rune
+}
+
+// DefaultOptions returns a terminal-friendly size.
+func DefaultOptions(title, ylabel string) Options {
+	return Options{Width: 72, Height: 16, Title: title, YLabel: ylabel,
+		Markers: []rune{'*', '+', 'o', 'x'}}
+}
+
+// Render draws the series overlaid on one chart. Series are resampled
+// horizontally by bucket means to fit the width.
+func Render(w io.Writer, opts Options, series ...*timeseries.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width, height := opts.Width, opts.Height
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		if v := s.Min(); v < lo {
+			lo = v
+		}
+		if v := s.Max(); v > hi {
+			hi = v
+		}
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if maxLen == 0 {
+		return fmt.Errorf("plot: all series empty")
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := opts.Markers[si%len(opts.Markers)]
+		for x := 0; x < width; x++ {
+			from := x * s.Len() / width
+			to := (x + 1) * s.Len() / width
+			if to <= from {
+				to = from + 1
+			}
+			if from >= s.Len() {
+				continue
+			}
+			if to > s.Len() {
+				to = s.Len()
+			}
+			sum := 0.0
+			for i := from; i < to; i++ {
+				sum += s.At(i)
+			}
+			v := sum / float64(to-from)
+			y := int((v - lo) / (hi - lo) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[height-1-y][x] = marker
+		}
+	}
+	if opts.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opts.Title); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", opts.Markers[si%len(opts.Markers)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  [%s]\n", strings.Join(legend, "   ")); err != nil {
+		return err
+	}
+	labels := []string{formatVal(hi), formatVal((hi + lo) / 2), formatVal(lo)}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for y, rowRunes := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch y {
+		case 0:
+			label = pad(labels[0], labelW)
+		case height / 2:
+			label = pad(labels[1], labelW)
+		case height - 1:
+			label = pad(labels[2], labelW)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(rowRunes)); err != nil {
+			return err
+		}
+	}
+	first := series[0]
+	xlo := first.TimeAt(0)
+	xhi := first.TimeAt(maxLen - 1)
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s  %-10s%s%10s  (%s)\n",
+		strings.Repeat(" ", labelW), formatVal(xlo)+"s",
+		strings.Repeat(" ", max(0, width-22)), formatVal(xhi)+"s", opts.YLabel)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func formatVal(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vwchar/internal/timeseries"
+)
+
+func mkSeries(name string, vals ...float64) *timeseries.Series {
+	s := timeseries.New(name, "KB")
+	s.Values = vals
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	s := mkSeries("browse", 0, 10, 20, 30, 40, 50, 40, 30, 20, 10)
+	var buf bytes.Buffer
+	opts := DefaultOptions("Figure 1: Web+App. (VM)", "CPU cycles")
+	if err := Render(&buf, opts, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "browse") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < opts.Height {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderMultipleSeriesUsesDistinctMarkers(t *testing.T) {
+	a := mkSeries("browse", 1, 2, 3, 4, 5)
+	b := mkSeries("bid", 5, 4, 3, 2, 1)
+	var buf bytes.Buffer
+	if err := Render(&buf, DefaultOptions("x", "y"), a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("expected two marker glyphs")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, DefaultOptions("x", "y")); err == nil {
+		t.Fatal("no series should error")
+	}
+	if err := Render(&buf, DefaultOptions("x", "y"), mkSeries("empty")); err == nil {
+		t.Fatal("all-empty series should error")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Zero vertical range must not divide by zero.
+	s := mkSeries("flat", 5, 5, 5, 5)
+	var buf bytes.Buffer
+	if err := Render(&buf, DefaultOptions("flat", "v"), s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	s := mkSeries("s", 1, 2, 3)
+	var buf bytes.Buffer
+	opts := Options{Width: 1, Height: 1, Markers: []rune{'*'}}
+	if err := Render(&buf, opts, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderLongSeriesDownsamples(t *testing.T) {
+	s := timeseries.New("long", "v")
+	for i := 0; i < 5000; i++ {
+		s.Append(float64(i % 100))
+	}
+	var buf bytes.Buffer
+	opts := DefaultOptions("long", "v")
+	if err := Render(&buf, opts, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > opts.Width+20 {
+			t.Fatalf("line too wide: %d chars", len(line))
+		}
+	}
+}
+
+func TestFormatVal(t *testing.T) {
+	cases := map[float64]string{
+		5:     "5",
+		12345: "12.3k",
+		2.5e6: "2.5M",
+		3.2e9: "3.2G",
+	}
+	for in, want := range cases {
+		if got := formatVal(in); got != want {
+			t.Fatalf("formatVal(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package rng provides deterministic, named random substreams and the
+// distributions used by the workload models.
+//
+// Every stochastic component of the simulation draws from its own
+// substream, derived from the experiment seed and a stable name. Adding a
+// new component therefore never perturbs the draws seen by existing
+// components, which keeps calibrated experiments stable as the codebase
+// grows.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 advances the SplitMix64 generator; it is used only to derive
+// well-mixed substream seeds from (seed, name) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashName folds a stream name into a 64-bit value (FNV-1a).
+func hashName(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}
+
+// Source derives named substreams from a root seed.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a substream factory rooted at seed.
+func NewSource(seed uint64) *Source { return &Source{seed: seed} }
+
+// Stream returns the deterministic substream for name. Calling Stream
+// twice with the same name yields independent generators with identical
+// state, so callers should create each stream once and keep it.
+func (s *Source) Stream(name string) *Stream {
+	sub := splitmix64(s.seed ^ splitmix64(hashName(name)))
+	return &Stream{r: rand.New(rand.NewSource(int64(sub)))}
+}
+
+// Stream is a deterministic random stream with distribution helpers.
+type Stream struct {
+	r *rand.Rand
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0,n).
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63n returns a uniform draw in [0,n).
+func (s *Stream) Int63n(n int64) int64 { return s.r.Int63n(n) }
+
+// Uniform returns a uniform draw in [lo,hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exp returns an exponential draw with the given mean.
+func (s *Stream) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal draw with mean mu and standard deviation sigma.
+func (s *Stream) Normal(mu, sigma float64) float64 {
+	return mu + sigma*s.r.NormFloat64()
+}
+
+// NormalPos returns a normal draw truncated below at zero.
+func (s *Stream) NormalPos(mu, sigma float64) float64 {
+	v := s.Normal(mu, sigma)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// LogNormal returns a lognormal draw where the underlying normal has mean
+// mu and standard deviation sigma.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LogNormalMean returns a lognormal draw with the given arithmetic mean
+// and coefficient of variation. This parameterization is what workload
+// cost models want: "around m, with cv relative spread".
+func (s *Stream) LogNormalMean(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return s.LogNormal(mu, math.Sqrt(sigma2))
+}
+
+// Pareto returns a bounded Pareto draw with shape alpha and minimum xm.
+func (s *Stream) Pareto(xm, alpha float64) float64 {
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool { return s.r.Float64() < p }
+
+// Poisson returns a Poisson draw with the given mean (Knuth's method for
+// small means, normal approximation above 30).
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical draws an index with probability proportional to weights.
+// It panics when weights is empty or sums to a non-positive value, since
+// a transition table with no mass is a model bug.
+func (s *Stream) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative categorical weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("rng: categorical distribution with no mass")
+	}
+	u := s.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf returns draws in [0,n) with Zipfian skew s>1 approximated via the
+// standard library generator. Used for item popularity.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a Zipf sampler over [0,n) with exponent skew (>1).
+func (s *Stream) NewZipf(skew float64, n uint64) *Zipf {
+	if skew <= 1 {
+		skew = 1.0001
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Zipf{z: rand.NewZipf(s.r, skew, 1, n-1)}
+}
+
+// Draw returns the next Zipf sample.
+func (z *Zipf) Draw() uint64 { return z.z.Uint64() }
+
+// Shuffle permutes the integers [0,n) deterministically.
+func (s *Stream) Shuffle(n int) []int {
+	p := s.r.Perm(n)
+	return p
+}

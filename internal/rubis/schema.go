@@ -1,0 +1,276 @@
+// Package rubis models the RUBiS auction-site benchmark (the eBay-like
+// three-tier application the paper drives): the relational schema and
+// dataset, the 26 client interaction types, and the browse/bid Markov
+// transition tables that generate the two request compositions the paper
+// reports.
+//
+// Interactions execute real queries against the rubisdb storage engine;
+// their cost receipts plus the web-tier templating model produce the
+// per-request resource demands that the tier servers replay in simulated
+// time.
+package rubis
+
+import (
+	"fmt"
+	"math"
+
+	"vwchar/internal/rng"
+	"vwchar/internal/rubisdb"
+)
+
+// DatasetConfig scales the generated auction dataset. Defaults follow
+// the RUBiS distribution's shape, scaled to keep experiment setup fast.
+type DatasetConfig struct {
+	Regions         int
+	Categories      int
+	Users           int
+	ActiveItems     int
+	OldItems        int
+	BidsPerItem     int
+	CommentsPerUser int
+	BufferPages     int
+}
+
+// DefaultDataset returns the standard scaled dataset.
+func DefaultDataset() DatasetConfig {
+	return DatasetConfig{
+		Regions:         62,
+		Categories:      20,
+		Users:           12000,
+		ActiveItems:     3600,
+		OldItems:        7800,
+		BidsPerItem:     6,
+		CommentsPerUser: 2,
+		// BufferPages is sized below the dataset's working set so the
+		// engine sustains a realistic miss stream (the paper's MySQL
+		// tier shows continuous disk reads, not a one-time warmup).
+		BufferPages: 950,
+	}
+}
+
+// App is one populated RUBiS database plus its interaction logic.
+type App struct {
+	Engine *rubisdb.Engine
+	Config DatasetConfig
+
+	// catWeights and regWeights skew browsing toward popular categories
+	// and regions (Zipf-like), giving the buffer pool a realistic hot
+	// set instead of a uniform scan.
+	catWeights []float64
+	regWeights []float64
+
+	users, items, bids, comments, buyNow, categories, regions *rubisdb.Table
+
+	// nextItemID etc. hand out primary keys for runtime writes.
+	nextItemID    int64
+	nextBidID     int64
+	nextCommentID int64
+	nextBuyNowID  int64
+	nextUserID    int64
+}
+
+// NewApp creates the schema and populates the dataset using the given
+// random stream.
+func NewApp(cfg DatasetConfig, r *rng.Stream) (*App, error) {
+	a := &App{
+		Engine: rubisdb.NewEngine(cfg.BufferPages, rubisdb.DefaultCostModel()),
+		Config: cfg,
+	}
+	if err := a.createSchema(); err != nil {
+		return nil, err
+	}
+	if err := a.populate(r); err != nil {
+		return nil, err
+	}
+	a.catWeights = zipfWeights(cfg.Categories, 1.1)
+	a.regWeights = zipfWeights(cfg.Regions, 1.1)
+	return a, nil
+}
+
+// zipfWeights returns weights proportional to 1/(rank+1)^skew.
+func zipfWeights(n int, skew float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), skew)
+	}
+	return w
+}
+
+func (a *App) createSchema() error {
+	var err error
+	a.regions, err = a.Engine.CreateTable("regions", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "name", Type: rubisdb.TString},
+	}, "id")
+	if err != nil {
+		return err
+	}
+	a.categories, err = a.Engine.CreateTable("categories", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "name", Type: rubisdb.TString},
+	}, "id")
+	if err != nil {
+		return err
+	}
+	a.users, err = a.Engine.CreateTable("users", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "nickname", Type: rubisdb.TString},
+		{Name: "region", Type: rubisdb.TInt64},
+		{Name: "rating", Type: rubisdb.TInt64},
+		{Name: "balance", Type: rubisdb.TFloat64},
+	}, "id", "region")
+	if err != nil {
+		return err
+	}
+	a.items, err = a.Engine.CreateTable("items", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "name", Type: rubisdb.TString},
+		{Name: "description", Type: rubisdb.TString},
+		{Name: "seller", Type: rubisdb.TInt64},
+		{Name: "category", Type: rubisdb.TInt64},
+		{Name: "initial_price", Type: rubisdb.TFloat64},
+		{Name: "max_bid", Type: rubisdb.TFloat64},
+		{Name: "nb_bids", Type: rubisdb.TInt64},
+		{Name: "quantity", Type: rubisdb.TInt64},
+		{Name: "buy_now", Type: rubisdb.TFloat64},
+		{Name: "end_date", Type: rubisdb.TInt64},
+	}, "id", "seller", "category")
+	if err != nil {
+		return err
+	}
+	a.bids, err = a.Engine.CreateTable("bids", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "user", Type: rubisdb.TInt64},
+		{Name: "item", Type: rubisdb.TInt64},
+		{Name: "qty", Type: rubisdb.TInt64},
+		{Name: "bid", Type: rubisdb.TFloat64},
+		{Name: "date", Type: rubisdb.TInt64},
+	}, "id", "user", "item")
+	if err != nil {
+		return err
+	}
+	a.comments, err = a.Engine.CreateTable("comments", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "from_user", Type: rubisdb.TInt64},
+		{Name: "to_user", Type: rubisdb.TInt64},
+		{Name: "item", Type: rubisdb.TInt64},
+		{Name: "rating", Type: rubisdb.TInt64},
+		{Name: "text", Type: rubisdb.TString},
+	}, "id", "to_user", "item")
+	if err != nil {
+		return err
+	}
+	a.buyNow, err = a.Engine.CreateTable("buy_now", rubisdb.Schema{
+		{Name: "id", Type: rubisdb.TInt64},
+		{Name: "buyer", Type: rubisdb.TInt64},
+		{Name: "item", Type: rubisdb.TInt64},
+		{Name: "qty", Type: rubisdb.TInt64},
+		{Name: "date", Type: rubisdb.TInt64},
+	}, "id", "buyer", "item")
+	return err
+}
+
+// itemDescription is the synthetic description text stored per item;
+// its length drives tuple size, page counts, and therefore buffer pool
+// behaviour.
+const itemDescription = "Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do " +
+	"eiusmod tempor incididunt ut labore et dolore magna aliqua. Ut enim ad minim " +
+	"veniam, quis nostrud exercitation ullamco laboris nisi ut aliquip ex ea commodo."
+
+func (a *App) populate(r *rng.Stream) error {
+	cfg := a.Config
+	for i := 0; i < cfg.Regions; i++ {
+		if _, err := a.regions.Insert(rubisdb.Row{int64(i), fmt.Sprintf("region-%02d", i)}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.Categories; i++ {
+		if _, err := a.categories.Insert(rubisdb.Row{int64(i), fmt.Sprintf("category-%02d", i)}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.Users; i++ {
+		row := rubisdb.Row{
+			int64(i),
+			fmt.Sprintf("user%06d", i),
+			int64(r.Intn(cfg.Regions)),
+			int64(r.Intn(10)),
+			r.Uniform(0, 1000),
+		}
+		if _, err := a.users.Insert(row); err != nil {
+			return err
+		}
+	}
+	a.nextUserID = int64(cfg.Users)
+
+	totalItems := cfg.ActiveItems + cfg.OldItems
+	for i := 0; i < totalItems; i++ {
+		price := r.Uniform(1, 500)
+		row := rubisdb.Row{
+			int64(i),
+			fmt.Sprintf("item-%06d", i),
+			itemDescription,
+			int64(r.Intn(cfg.Users)),
+			int64(r.Intn(cfg.Categories)),
+			price,
+			price,
+			int64(0),
+			int64(1 + r.Intn(5)),
+			price * 1.6,
+			int64(i % 2), // half "ended", half active (end_date flag)
+		}
+		if _, err := a.items.Insert(row); err != nil {
+			return err
+		}
+	}
+	a.nextItemID = int64(totalItems)
+
+	bidID := int64(0)
+	for i := 0; i < totalItems; i++ {
+		n := r.Poisson(float64(cfg.BidsPerItem))
+		for b := 0; b < n; b++ {
+			row := rubisdb.Row{
+				bidID,
+				int64(r.Intn(cfg.Users)),
+				int64(i),
+				int64(1),
+				r.Uniform(1, 800),
+				int64(b),
+			}
+			if _, err := a.bids.Insert(row); err != nil {
+				return err
+			}
+			bidID++
+		}
+	}
+	a.nextBidID = bidID
+
+	commentID := int64(0)
+	for u := 0; u < cfg.Users; u++ {
+		n := r.Poisson(float64(cfg.CommentsPerUser))
+		for c := 0; c < n; c++ {
+			row := rubisdb.Row{
+				commentID,
+				int64(r.Intn(cfg.Users)),
+				int64(u),
+				int64(r.Intn(totalItems)),
+				int64(r.Intn(10)),
+				"Great seller, fast shipping, item exactly as described.",
+			}
+			if _, err := a.comments.Insert(row); err != nil {
+				return err
+			}
+			commentID++
+		}
+	}
+	a.nextCommentID = commentID
+	a.nextBuyNowID = 0
+	// Warm checkpoint so runtime write-back reflects steady state.
+	return a.Engine.Checkpoint()
+}
+
+// TotalItems reports how many items exist right now.
+func (a *App) TotalItems() int64 { return a.nextItemID }
+
+// TotalUsers reports how many users exist right now.
+func (a *App) TotalUsers() int64 { return a.nextUserID }

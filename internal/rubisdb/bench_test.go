@@ -1,0 +1,113 @@
+package rubisdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBTreeInsertSequential(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 4096, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(int64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeInsertRandom(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 4096, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(r.Int63(), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearchWarm(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 4096, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(int64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Search(int64(i % n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearchColdPool(b *testing.B) {
+	// A pool far below the index size: every search pays eviction traffic.
+	pool := NewBufferPool(NewMemStore(), 16, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(int64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Search(int64(r.Intn(n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapInsert(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 1024, &Meter{})
+	h := NewHeap(pool, 1)
+	payload := make([]byte, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineQueryMix(b *testing.B) {
+	e := NewEngine(1024, DefaultCostModel())
+	users, err := e.CreateTable("users", usersSchema(), "id", "region")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 20000; i++ {
+		if _, err := users.Insert(Row{i, "user", i % 50, int64(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := e.Snapshot()
+		if _, err := users.GetByPK(int64(i % 20000)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := users.LookupBy("region", int64(i%50), 10); err != nil {
+			b.Fatal(err)
+		}
+		_ = e.ReceiptSince(snap)
+	}
+}

@@ -1,0 +1,372 @@
+package rubisdb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// B+tree index over (int64 key, uint64 value) pairs, stored in buffer
+// pool pages. Duplicate keys are supported by ordering entries on the
+// composite (key, value); secondary indexes rely on this.
+//
+// Node page layout (fixed-format, not slotted):
+//
+//	byte 0      node type: 0 leaf, 1 internal
+//	bytes 1..2  entry count (u16)
+//	bytes 3..6  leaf only: next-leaf page number (u32), ^0 for none
+//	byte 7      reserved
+//	byte 8...   entries
+//
+// Leaf entry: key i64 | value u64 (16 bytes). Internal layout: child0 u32
+// followed by (key i64 | child u32) repeated (12 bytes each); keys[i] is
+// the smallest composite key in child i+1's subtree.
+const (
+	nodeLeaf     = 0
+	nodeInternal = 1
+
+	btHeader   = 8
+	leafEntry  = 16
+	leafMax    = (PageSize - btHeader) / leafEntry
+	innerEntry = 12
+	innerMax   = (PageSize - btHeader - 4) / innerEntry
+	noNext     = ^uint32(0)
+)
+
+// BTree is a B+tree index backed by a buffer pool file.
+type BTree struct {
+	pool *BufferPool
+	file uint32
+	root PageID
+	size int
+}
+
+// NewBTree creates an empty tree in file.
+func NewBTree(pool *BufferPool, file uint32) (*BTree, error) {
+	id, page, err := pool.NewPage(file)
+	if err != nil {
+		return nil, err
+	}
+	initLeaf(page)
+	pool.Unpin(id, true)
+	return &BTree{pool: pool, file: file, root: id}, nil
+}
+
+// Len reports the number of stored entries.
+func (t *BTree) Len() int { return t.size }
+
+func initLeaf(p Page) {
+	for i := range p {
+		p[i] = 0
+	}
+	p[0] = nodeLeaf
+	binary.BigEndian.PutUint32(p[3:7], noNext)
+}
+
+func initInternal(p Page) {
+	for i := range p {
+		p[i] = 0
+	}
+	p[0] = nodeInternal
+}
+
+func nodeCount(p Page) int         { return int(binary.BigEndian.Uint16(p[1:3])) }
+func setNodeCount(p Page, n int)   { binary.BigEndian.PutUint16(p[1:3], uint16(n)) }
+func leafNext(p Page) uint32       { return binary.BigEndian.Uint32(p[3:7]) }
+func setLeafNext(p Page, v uint32) { binary.BigEndian.PutUint32(p[3:7], v) }
+
+func leafKey(p Page, i int) int64 {
+	return int64(binary.BigEndian.Uint64(p[btHeader+i*leafEntry:]))
+}
+func leafVal(p Page, i int) uint64 {
+	return binary.BigEndian.Uint64(p[btHeader+i*leafEntry+8:])
+}
+func setLeafEntry(p Page, i int, k int64, v uint64) {
+	binary.BigEndian.PutUint64(p[btHeader+i*leafEntry:], uint64(k))
+	binary.BigEndian.PutUint64(p[btHeader+i*leafEntry+8:], v)
+}
+
+func innerChild(p Page, i int) uint32 {
+	if i == 0 {
+		return binary.BigEndian.Uint32(p[btHeader:])
+	}
+	return binary.BigEndian.Uint32(p[btHeader+4+(i-1)*innerEntry+8:])
+}
+func setInnerChild0(p Page, c uint32) { binary.BigEndian.PutUint32(p[btHeader:], c) }
+func innerRawKey(p Page, i int) int64 {
+	return int64(binary.BigEndian.Uint64(p[btHeader+4+i*innerEntry:]))
+}
+func setInnerEntry(p Page, i int, k int64, child uint32) {
+	off := btHeader + 4 + i*innerEntry
+	binary.BigEndian.PutUint64(p[off:], uint64(k))
+	binary.BigEndian.PutUint32(p[off+8:], child)
+}
+
+// compositeLess orders (key, value) pairs.
+func compositeLess(k1 int64, v1 uint64, k2 int64, v2 uint64) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return v1 < v2
+}
+
+// Insert adds the (key, value) pair. Inserting an exact duplicate
+// (key AND value) is rejected: it always indicates a primary-key or
+// row-id collision upstream.
+func (t *BTree) Insert(key int64, value uint64) error {
+	promoted, newChild, err := t.insertInto(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if newChild != noNext {
+		// Root split: build a new internal root.
+		id, page, err := t.pool.NewPage(t.file)
+		if err != nil {
+			return err
+		}
+		initInternal(page)
+		setInnerChild0(page, t.root.PageNo)
+		setInnerEntry(page, 0, promoted, newChild)
+		setNodeCount(page, 1)
+		t.pool.Unpin(id, true)
+		t.root = id
+	}
+	t.size++
+	return nil
+}
+
+// insertInto descends into page pn; on child split it returns the
+// promoted separator key and new right-sibling page number (noNext when
+// no split happened).
+func (t *BTree) insertInto(id PageID, key int64, value uint64) (int64, uint32, error) {
+	page, err := t.pool.Get(id)
+	if err != nil {
+		return 0, noNext, err
+	}
+	if page[0] == nodeLeaf {
+		sep, right, err := t.insertLeaf(id, page, key, value)
+		return sep, right, err
+	}
+	n := nodeCount(page)
+	// Find child: last entry whose key <= search key.
+	childIdx := 0
+	for i := 0; i < n; i++ {
+		if innerRawKey(page, i) <= key {
+			childIdx = i + 1
+		} else {
+			break
+		}
+	}
+	childPage := innerChild(page, childIdx)
+	t.pool.Unpin(id, false)
+	promoted, newChild, err := t.insertInto(PageID{File: t.file, PageNo: childPage}, key, value)
+	if err != nil || newChild == noNext {
+		return 0, noNext, err
+	}
+	// Re-pin to add the separator.
+	page, err = t.pool.Get(id)
+	if err != nil {
+		return 0, noNext, err
+	}
+	n = nodeCount(page)
+	if n < innerMax {
+		// Shift entries right of childIdx.
+		for i := n; i > childIdx; i-- {
+			k := innerRawKey(page, i-1)
+			c := innerChild(page, i)
+			setInnerEntry(page, i, k, c)
+		}
+		setInnerEntry(page, childIdx, promoted, newChild)
+		setNodeCount(page, n+1)
+		t.pool.Unpin(id, true)
+		return 0, noNext, nil
+	}
+	// Internal split: gather entries, insert, split in half.
+	keys := make([]int64, 0, n+1)
+	children := make([]uint32, 0, n+2)
+	children = append(children, innerChild(page, 0))
+	for i := 0; i < n; i++ {
+		keys = append(keys, innerRawKey(page, i))
+		children = append(children, innerChild(page, i+1))
+	}
+	keys = append(keys[:childIdx], append([]int64{promoted}, keys[childIdx:]...)...)
+	children = append(children[:childIdx+1], append([]uint32{newChild}, children[childIdx+1:]...)...)
+
+	mid := len(keys) / 2
+	sep := keys[mid]
+	rid, rpage, err := t.pool.NewPage(t.file)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return 0, noNext, err
+	}
+	initInternal(rpage)
+	setInnerChild0(rpage, children[mid+1])
+	for i := mid + 1; i < len(keys); i++ {
+		setInnerEntry(rpage, i-mid-1, keys[i], children[i+1])
+	}
+	setNodeCount(rpage, len(keys)-mid-1)
+	t.pool.Unpin(rid, true)
+
+	initInternal(page)
+	setInnerChild0(page, children[0])
+	for i := 0; i < mid; i++ {
+		setInnerEntry(page, i, keys[i], children[i+1])
+	}
+	setNodeCount(page, mid)
+	t.pool.Unpin(id, true)
+	return sep, rid.PageNo, nil
+}
+
+func (t *BTree) insertLeaf(id PageID, page Page, key int64, value uint64) (int64, uint32, error) {
+	n := nodeCount(page)
+	// Binary search for insertion point on composite order.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compositeLess(leafKey(page, mid), leafVal(page, mid), key, value) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n && leafKey(page, lo) == key && leafVal(page, lo) == value {
+		t.pool.Unpin(id, false)
+		return 0, noNext, fmt.Errorf("rubisdb: duplicate index entry (%d,%d)", key, value)
+	}
+	if n < leafMax {
+		for i := n; i > lo; i-- {
+			setLeafEntry(page, i, leafKey(page, i-1), leafVal(page, i-1))
+		}
+		setLeafEntry(page, lo, key, value)
+		setNodeCount(page, n+1)
+		t.pool.Unpin(id, true)
+		return 0, noNext, nil
+	}
+	// Leaf split.
+	keys := make([]int64, 0, n+1)
+	vals := make([]uint64, 0, n+1)
+	for i := 0; i < n; i++ {
+		keys = append(keys, leafKey(page, i))
+		vals = append(vals, leafVal(page, i))
+	}
+	keys = append(keys[:lo], append([]int64{key}, keys[lo:]...)...)
+	vals = append(vals[:lo], append([]uint64{value}, vals[lo:]...)...)
+
+	mid := len(keys) / 2
+	rid, rpage, err := t.pool.NewPage(t.file)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return 0, noNext, err
+	}
+	initLeaf(rpage)
+	for i := mid; i < len(keys); i++ {
+		setLeafEntry(rpage, i-mid, keys[i], vals[i])
+	}
+	setNodeCount(rpage, len(keys)-mid)
+	setLeafNext(rpage, leafNext(page))
+	t.pool.Unpin(rid, true)
+
+	initLeaf(page)
+	for i := 0; i < mid; i++ {
+		setLeafEntry(page, i, keys[i], vals[i])
+	}
+	setNodeCount(page, mid)
+	setLeafNext(page, rid.PageNo)
+	t.pool.Unpin(id, true)
+	return keys[mid], rid.PageNo, nil
+}
+
+// findLeaf descends to the leaf that may contain key, returning its id.
+func (t *BTree) findLeaf(key int64) (PageID, error) {
+	id := t.root
+	for {
+		page, err := t.pool.Get(id)
+		if err != nil {
+			return PageID{}, err
+		}
+		if page[0] == nodeLeaf {
+			t.pool.Unpin(id, false)
+			return id, nil
+		}
+		n := nodeCount(page)
+		childIdx := 0
+		for i := 0; i < n; i++ {
+			if innerRawKey(page, i) <= key {
+				childIdx = i + 1
+			} else {
+				break
+			}
+		}
+		next := PageID{File: t.file, PageNo: innerChild(page, childIdx)}
+		t.pool.Unpin(id, false)
+		id = next
+	}
+}
+
+// Search returns all values stored under key, in value order.
+func (t *BTree) Search(key int64) ([]uint64, error) {
+	var out []uint64
+	err := t.ScanRange(key, key, func(k int64, v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out, err
+}
+
+// ScanRange visits entries with lo <= key <= hi in order, calling fn for
+// each; fn returning false stops the scan early.
+func (t *BTree) ScanRange(lo, hi int64, fn func(key int64, value uint64) bool) error {
+	if lo > hi {
+		return nil
+	}
+	id, err := t.findLeaf(lo)
+	if err != nil {
+		return err
+	}
+	for {
+		page, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := nodeCount(page)
+		for i := 0; i < n; i++ {
+			k := leafKey(page, i)
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+			if !fn(k, leafVal(page, i)) {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+		}
+		next := leafNext(page)
+		t.pool.Unpin(id, false)
+		if next == noNext {
+			return nil
+		}
+		id = PageID{File: t.file, PageNo: next}
+	}
+}
+
+// Height reports the tree depth (1 for a lone leaf).
+func (t *BTree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		page, err := t.pool.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if page[0] == nodeLeaf {
+			t.pool.Unpin(id, false)
+			return h, nil
+		}
+		next := PageID{File: t.file, PageNo: innerChild(page, 0)}
+		t.pool.Unpin(id, false)
+		id = next
+		h++
+	}
+}

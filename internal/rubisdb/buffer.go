@@ -1,0 +1,253 @@
+package rubisdb
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID identifies a page within the engine: a file (table heap, index,
+// ...) and a page number within it.
+type PageID struct {
+	File   uint32
+	PageNo uint32
+}
+
+// Store is the backing page store. The simulation uses an in-memory
+// store; the buffer pool's miss/flush traffic is what the tier model
+// charges to the simulated disk.
+type Store interface {
+	// Read fetches the page; it returns an error for never-written pages.
+	Read(id PageID) (Page, error)
+	// Write persists the page.
+	Write(id PageID, p Page) error
+	// Allocate extends file with one zeroed page, returning its id.
+	Allocate(file uint32) PageID
+}
+
+// MemStore is the in-memory Store.
+type MemStore struct {
+	pages map[PageID]Page
+	next  map[uint32]uint32
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{pages: make(map[PageID]Page), next: make(map[uint32]uint32)}
+}
+
+// Read implements Store.
+func (m *MemStore) Read(id PageID) (Page, error) {
+	p, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("rubisdb: page %v not found", id)
+	}
+	out := make(Page, PageSize)
+	copy(out, p)
+	return out, nil
+}
+
+// Write implements Store.
+func (m *MemStore) Write(id PageID, p Page) error {
+	cp := make(Page, PageSize)
+	copy(cp, p)
+	m.pages[id] = cp
+	return nil
+}
+
+// Allocate implements Store.
+func (m *MemStore) Allocate(file uint32) PageID {
+	id := PageID{File: file, PageNo: m.next[file]}
+	m.next[file]++
+	m.pages[id] = NewPage()
+	return id
+}
+
+// PageCount reports the number of allocated pages in file.
+func (m *MemStore) PageCount(file uint32) uint32 { return m.next[file] }
+
+// Meter accumulates the engine's physical work. The tier model samples
+// and differences it to derive the DB server's resource demand.
+type Meter struct {
+	// PageHits and PageMisses count buffer pool lookups.
+	PageHits   uint64
+	PageMisses uint64
+	// PagesWritten counts dirty page write-backs.
+	PagesWritten uint64
+	// WALBytes counts write-ahead log appends.
+	WALBytes float64
+	// RowsRead and RowsWritten count tuple touches.
+	RowsRead    uint64
+	RowsWritten uint64
+	// BytesOut counts result bytes produced for clients.
+	BytesOut float64
+}
+
+// Add accumulates other into m.
+func (m *Meter) Add(other Meter) {
+	m.PageHits += other.PageHits
+	m.PageMisses += other.PageMisses
+	m.PagesWritten += other.PagesWritten
+	m.WALBytes += other.WALBytes
+	m.RowsRead += other.RowsRead
+	m.RowsWritten += other.RowsWritten
+	m.BytesOut += other.BytesOut
+}
+
+// Sub returns m minus other (for window differencing).
+func (m Meter) Sub(other Meter) Meter {
+	return Meter{
+		PageHits:     m.PageHits - other.PageHits,
+		PageMisses:   m.PageMisses - other.PageMisses,
+		PagesWritten: m.PagesWritten - other.PagesWritten,
+		WALBytes:     m.WALBytes - other.WALBytes,
+		RowsRead:     m.RowsRead - other.RowsRead,
+		RowsWritten:  m.RowsWritten - other.RowsWritten,
+		BytesOut:     m.BytesOut - other.BytesOut,
+	}
+}
+
+type frame struct {
+	id    PageID
+	page  Page
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// BufferPool caches pages with LRU replacement and write-back of dirty
+// pages on eviction.
+type BufferPool struct {
+	store    Store
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used
+	meter    *Meter
+}
+
+// NewBufferPool builds a pool of capacity pages over store, metering
+// into meter.
+func NewBufferPool(store Store, capacity int, meter *Meter) *BufferPool {
+	if capacity < 1 {
+		panic("rubisdb: buffer pool needs capacity >= 1")
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+		meter:    meter,
+	}
+}
+
+// Len reports resident pages.
+func (b *BufferPool) Len() int { return len(b.frames) }
+
+// Get pins the page into the pool, loading it on a miss (possibly
+// evicting an unpinned LRU victim). Callers must Unpin.
+func (b *BufferPool) Get(id PageID) (Page, error) {
+	if f, ok := b.frames[id]; ok {
+		b.meter.PageHits++
+		f.pins++
+		b.lru.MoveToFront(f.elem)
+		return f.page, nil
+	}
+	b.meter.PageMisses++
+	p, err := b.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, page: p, pins: 1}
+	f.elem = b.lru.PushFront(f)
+	b.frames[id] = f
+	return p, nil
+}
+
+// NewPage allocates a fresh page in file, resident and pinned.
+func (b *BufferPool) NewPage(file uint32) (PageID, Page, error) {
+	id := b.store.Allocate(file)
+	if err := b.makeRoom(); err != nil {
+		return PageID{}, nil, err
+	}
+	f := &frame{id: id, page: NewPage(), pins: 1, dirty: true}
+	f.elem = b.lru.PushFront(f)
+	b.frames[id] = f
+	return id, f.page, nil
+}
+
+func (b *BufferPool) makeRoom() error {
+	for len(b.frames) >= b.capacity {
+		victim := (*frame)(nil)
+		for e := b.lru.Back(); e != nil; e = e.Prev() {
+			f := e.Value.(*frame)
+			if f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("rubisdb: buffer pool exhausted (%d pages, all pinned)", len(b.frames))
+		}
+		if victim.dirty {
+			if err := b.store.Write(victim.id, victim.page); err != nil {
+				return err
+			}
+			b.meter.PagesWritten++
+		}
+		b.lru.Remove(victim.elem)
+		delete(b.frames, victim.id)
+	}
+	return nil
+}
+
+// Unpin releases a pin, optionally marking the page dirty.
+func (b *BufferPool) Unpin(id PageID, dirty bool) {
+	f, ok := b.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("rubisdb: Unpin of non-resident page %v", id))
+	}
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("rubisdb: Unpin of unpinned page %v", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushAll writes every dirty resident page back to the store (checkpoint).
+func (b *BufferPool) FlushAll() error {
+	_, err := b.FlushLimit(len(b.frames))
+	return err
+}
+
+// FlushLimit writes back at most limit dirty pages in LRU order (a fuzzy
+// checkpoint with an io-capacity cap, as InnoDB's background writer
+// does) and reports how many were flushed.
+func (b *BufferPool) FlushLimit(limit int) (int, error) {
+	flushed := 0
+	for e := b.lru.Back(); e != nil && flushed < limit; e = e.Prev() {
+		f := e.Value.(*frame)
+		if !f.dirty {
+			continue
+		}
+		if err := b.store.Write(f.id, f.page); err != nil {
+			return flushed, err
+		}
+		f.dirty = false
+		b.meter.PagesWritten++
+		flushed++
+	}
+	return flushed, nil
+}
+
+// HitRatio reports hits/(hits+misses), 0 when cold.
+func (b *BufferPool) HitRatio() float64 {
+	total := b.meter.PageHits + b.meter.PageMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.meter.PageHits) / float64(total)
+}

@@ -1,0 +1,479 @@
+package rubisdb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertAndReadBack(t *testing.T) {
+	p := NewPage()
+	a, err := p.InsertCell([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.InsertCell([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCells() != 2 {
+		t.Fatalf("NumCells = %d", p.NumCells())
+	}
+	ca, _ := p.Cell(a)
+	cb, _ := p.Cell(b)
+	if string(ca) != "hello" || string(cb) != "world!" {
+		t.Fatalf("cells: %q %q", ca, cb)
+	}
+	if _, err := p.Cell(5); err == nil {
+		t.Fatal("out-of-range cell should error")
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	p := NewPage()
+	payload := make([]byte, 1000)
+	n := 0
+	for {
+		if _, err := p.InsertCell(payload); err != nil {
+			break
+		}
+		n++
+		if n > 20 {
+			t.Fatal("page never filled")
+		}
+	}
+	if n != 8 { // 8*(1000+4) = 8032 < 8186 usable, 9th doesn't fit
+		t.Fatalf("fit %d 1000-byte cells", n)
+	}
+}
+
+func TestPageUpdateInPlace(t *testing.T) {
+	p := NewPage()
+	i, _ := p.InsertCell([]byte("aaaa"))
+	if err := p.UpdateCellInPlace(i, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.Cell(i)
+	if string(c) != "bbbb" {
+		t.Fatalf("cell = %q", c)
+	}
+	if err := p.UpdateCellInPlace(i, []byte("toolong")); err == nil {
+		t.Fatal("size-changing update should error")
+	}
+}
+
+func TestBufferPoolHitMissEvict(t *testing.T) {
+	meter := &Meter{}
+	store := NewMemStore()
+	pool := NewBufferPool(store, 2, meter)
+	id1, p1, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1[100] = 42
+	pool.Unpin(id1, true)
+	id2, _, _ := pool.NewPage(1)
+	pool.Unpin(id2, true)
+	id3, _, _ := pool.NewPage(1) // evicts id1 (LRU), which is dirty
+	pool.Unpin(id3, true)
+	if pool.Len() != 2 {
+		t.Fatalf("pool len = %d", pool.Len())
+	}
+	if meter.PagesWritten == 0 {
+		t.Fatal("dirty eviction should write back")
+	}
+	// Re-reading id1 is a miss but must see the dirty byte.
+	p, err := pool.Get(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[100] != 42 {
+		t.Fatal("dirty data lost on eviction")
+	}
+	pool.Unpin(id1, false)
+	if meter.PageMisses == 0 || meter.PageHits != 0 {
+		t.Fatalf("meter: %+v", meter)
+	}
+	p, _ = pool.Get(id1) // now a hit
+	pool.Unpin(id1, false)
+	if meter.PageHits != 1 {
+		t.Fatalf("hits = %d", meter.PageHits)
+	}
+}
+
+func TestBufferPoolAllPinnedFails(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(), 1, &Meter{})
+	id, _, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pool.NewPage(1); err == nil {
+		t.Fatal("exhausted pool should error")
+	}
+	pool.Unpin(id, false)
+	if _, _, err := pool.NewPage(1); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolUnpinPanics(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(), 2, &Meter{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin of non-resident page should panic")
+		}
+	}()
+	pool.Unpin(PageID{File: 9, PageNo: 9}, false)
+}
+
+func TestHeapInsertFetchAcrossPages(t *testing.T) {
+	meter := &Meter{}
+	store := NewMemStore()
+	pool := NewBufferPool(store, 16, meter)
+	h := NewHeap(pool, 3)
+	payload := strings.Repeat("x", 3000)
+	var rids []RID
+	for i := 0; i < 10; i++ { // 2 per page -> 5 pages
+		rid, err := h.Insert([]byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if store.PageCount(3) < 4 {
+		t.Fatalf("expected multiple pages, got %d", store.PageCount(3))
+	}
+	for _, rid := range rids {
+		got, err := h.Fetch(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != payload {
+			t.Fatal("fetch mismatch")
+		}
+	}
+	if h.Rows != 10 {
+		t.Fatalf("Rows = %d", h.Rows)
+	}
+}
+
+func TestHeapRejectsGiantTuple(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(), 4, &Meter{})
+	h := NewHeap(pool, 1)
+	if _, err := h.Insert(make([]byte, PageSize)); err == nil {
+		t.Fatal("giant tuple should error")
+	}
+}
+
+func TestRIDEncodeDecode(t *testing.T) {
+	r := RID{PageNo: 123456, Slot: 789}
+	if DecodeRID(r.Encode()) != r {
+		t.Fatalf("round trip failed: %+v", DecodeRID(r.Encode()))
+	}
+}
+
+func TestWALFraming(t *testing.T) {
+	meter := &Meter{}
+	w := NewWAL(meter)
+	lsn0 := w.Append([]byte("abc"))
+	lsn1 := w.AppendRecord(7, walInsert, []byte("payload"))
+	if lsn0 != 0 || lsn1 != 1 {
+		t.Fatalf("lsns: %d %d", lsn0, lsn1)
+	}
+	wantBytes := float64(3+walFrameOverhead) + float64(5+7+walFrameOverhead)
+	if w.TotalBytes != wantBytes || meter.WALBytes != wantBytes {
+		t.Fatalf("bytes: wal=%v meter=%v want %v", w.TotalBytes, meter.WALBytes, wantBytes)
+	}
+	if w.NextLSN() != 2 {
+		t.Fatalf("NextLSN = %d", w.NextLSN())
+	}
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	w := NewWAL(&Meter{})
+	w.FlushThreshold = 100
+	w.Append(make([]byte, 50))
+	if w.Flushes != 0 {
+		t.Fatal("premature flush")
+	}
+	w.Append(make([]byte, 50))
+	if w.Flushes != 1 {
+		t.Fatalf("Flushes = %d", w.Flushes)
+	}
+	w.Flush() // empty flush is a no-op
+	if w.Flushes != 1 {
+		t.Fatal("empty flush should not count")
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	schema := Schema{
+		{Name: "id", Type: TInt64},
+		{Name: "price", Type: TFloat64},
+		{Name: "name", Type: TString},
+	}
+	row := Row{int64(-7), 3.25, "widget"}
+	data, err := EncodeRow(schema, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != int64(-7) || got[1] != 3.25 || got[2] != "widget" {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestRowCodecErrors(t *testing.T) {
+	schema := Schema{{Name: "id", Type: TInt64}}
+	if _, err := EncodeRow(schema, Row{"nope"}); err == nil {
+		t.Fatal("type mismatch should error")
+	}
+	if _, err := EncodeRow(schema, Row{int64(1), int64(2)}); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+	if _, err := DecodeRow(schema, []byte{1, 2}); err == nil {
+		t.Fatal("truncated tuple should error")
+	}
+	if _, err := DecodeRow(schema, append(make([]byte, 8), 0xFF)); err == nil {
+		t.Fatal("trailing bytes should error")
+	}
+}
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	return NewEngine(512, DefaultCostModel())
+}
+
+func usersSchema() Schema {
+	return Schema{
+		{Name: "id", Type: TInt64},
+		{Name: "nickname", Type: TString},
+		{Name: "region", Type: TInt64},
+		{Name: "rating", Type: TInt64},
+	}
+}
+
+func TestEngineCreateInsertQuery(t *testing.T) {
+	e := newTestEngine(t)
+	users, err := e.CreateTable("users", usersSchema(), "id", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		_, err := users.Insert(Row{i, "user", i % 10, int64(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	row, err := users.GetByPK(123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[0] != int64(123) {
+		t.Fatalf("GetByPK: %v", row)
+	}
+	if row, _ := users.GetByPK(9999); row != nil {
+		t.Fatal("absent pk should return nil row")
+	}
+	inRegion, err := users.LookupBy("region", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inRegion) != 50 {
+		t.Fatalf("region lookup returned %d rows", len(inRegion))
+	}
+	n, err := users.CountBy("region", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 250 {
+		t.Fatalf("CountBy = %d", n)
+	}
+	limited, err := users.RangeBy("id", 0, 499, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 25 {
+		t.Fatalf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestEngineConstraints(t *testing.T) {
+	e := newTestEngine(t)
+	users, err := e.CreateTable("users", usersSchema(), "id", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTable("users", usersSchema(), "id"); err == nil {
+		t.Fatal("duplicate table should error")
+	}
+	if _, err := e.CreateTable("bad", usersSchema(), "nickname"); err == nil {
+		t.Fatal("string pk should error")
+	}
+	if _, err := e.CreateTable("bad2", usersSchema(), "id", "nickname"); err == nil {
+		t.Fatal("string secondary index should error")
+	}
+	if _, err := users.Insert(Row{int64(1), "a", int64(0), int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := users.Insert(Row{int64(1), "b", int64(0), int64(0)}); err == nil {
+		t.Fatal("duplicate pk should error")
+	}
+	if _, err := e.Table("missing"); err == nil {
+		t.Fatal("missing table should error")
+	}
+}
+
+func TestEngineUpdateNumeric(t *testing.T) {
+	e := newTestEngine(t)
+	items, err := e.CreateTable("items", Schema{
+		{Name: "id", Type: TInt64},
+		{Name: "name", Type: TString},
+		{Name: "price", Type: TFloat64},
+		{Name: "bids", Type: TInt64},
+		{Name: "seller", Type: TInt64},
+	}, "id", "seller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := items.Insert(Row{int64(1), "vase", 10.0, int64(0), int64(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := items.UpdateNumeric(1, map[string]any{"price": 12.5, "bids": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := items.GetByPK(1)
+	if row[2] != 12.5 || row[3] != int64(1) {
+		t.Fatalf("update lost: %v", row)
+	}
+	if err := items.UpdateNumeric(1, map[string]any{"id": int64(5)}); err == nil {
+		t.Fatal("pk update should error")
+	}
+	if err := items.UpdateNumeric(1, map[string]any{"seller": int64(5)}); err == nil {
+		t.Fatal("indexed column update should error")
+	}
+	if err := items.UpdateNumeric(1, map[string]any{"name": "x"}); err == nil {
+		t.Fatal("string update should error")
+	}
+	if err := items.UpdateNumeric(99, map[string]any{"price": 1.0}); err == nil {
+		t.Fatal("absent row update should error")
+	}
+	if err := items.UpdateNumeric(1, map[string]any{"price": int64(3)}); err == nil {
+		t.Fatal("wrong-typed update should error")
+	}
+}
+
+func TestEngineReceipts(t *testing.T) {
+	e := newTestEngine(t)
+	users, _ := e.CreateTable("users", usersSchema(), "id", "region")
+	for i := int64(0); i < 100; i++ {
+		if _, err := users.Insert(Row{i, "u", i % 5, int64(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Snapshot()
+	if _, err := users.LookupBy("region", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	r := e.ReceiptSince(snap)
+	if r.Work.RowsRead != 20 {
+		t.Fatalf("receipt rows = %d", r.Work.RowsRead)
+	}
+	if r.CPUCycles <= DefaultCostModel().BaseCyclesPerQuery {
+		t.Fatalf("receipt cycles = %v", r.CPUCycles)
+	}
+	if r.ResultBytes <= 0 {
+		t.Fatal("receipt should report result bytes")
+	}
+	// A write receipt carries WAL traffic.
+	snap = e.Snapshot()
+	if _, err := users.Insert(Row{int64(1000), "w", int64(0), int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	r = e.ReceiptSince(snap)
+	if r.Work.WALBytes <= 0 || r.DiskWriteBytes <= 0 {
+		t.Fatalf("write receipt: %+v", r)
+	}
+	if e.Queries() != 2 {
+		t.Fatalf("Queries = %d", e.Queries())
+	}
+}
+
+func TestEngineBufferWarmupImprovesHitRatio(t *testing.T) {
+	e := NewEngine(4096, DefaultCostModel())
+	users, _ := e.CreateTable("users", usersSchema(), "id", "region")
+	for i := int64(0); i < 2000; i++ {
+		if _, err := users.Insert(Row{i, strings.Repeat("u", 40), i % 50, int64(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Meter()
+	for i := int64(0); i < 2000; i++ {
+		if _, err := users.GetByPK(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := e.Meter().Sub(before)
+	for i := int64(0); i < 2000; i++ {
+		if _, err := users.GetByPK(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Meter().Sub(before).Sub(mid)
+	if after.PageMisses > mid.PageMisses {
+		t.Fatalf("warm pass missed more: %d vs %d", after.PageMisses, mid.PageMisses)
+	}
+	if e.BufferHitRatio() <= 0.5 {
+		t.Fatalf("hit ratio = %v", e.BufferHitRatio())
+	}
+}
+
+// Property: row codec round-trips arbitrary values.
+func TestPropertyRowCodecRoundTrip(t *testing.T) {
+	schema := Schema{
+		{Name: "a", Type: TInt64},
+		{Name: "b", Type: TFloat64},
+		{Name: "c", Type: TString},
+	}
+	f := func(a int64, b float64, c string) bool {
+		if b != b { // NaN: bit pattern survives but != comparison fails
+			return true
+		}
+		if len(c) > 0xFFFF {
+			c = c[:0xFFFF]
+		}
+		data, err := EncodeRow(schema, Row{a, b, c})
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRow(schema, data)
+		if err != nil {
+			return false
+		}
+		return got[0] == a && got[1] == b && got[2] == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: meter differencing is consistent: (m+d)-m == d.
+func TestPropertyMeterSubAdd(t *testing.T) {
+	f := func(h1, m1, w1 uint16, wal1 uint32, h2, m2, w2 uint16, wal2 uint32) bool {
+		a := Meter{PageHits: uint64(h1), PageMisses: uint64(m1), PagesWritten: uint64(w1), WALBytes: float64(wal1)}
+		d := Meter{PageHits: uint64(h2), PageMisses: uint64(m2), PagesWritten: uint64(w2), WALBytes: float64(wal2)}
+		sum := a
+		sum.Add(d)
+		back := sum.Sub(a)
+		return back == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package rubisdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultStore wraps MemStore and fails operations on command, exercising
+// the error paths that a real device would hit.
+type faultStore struct {
+	*MemStore
+	failReads  bool
+	failWrites bool
+	reads      int
+	writes     int
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *faultStore) Read(id PageID) (Page, error) {
+	f.reads++
+	if f.failReads {
+		return nil, fmt.Errorf("read %v: %w", id, errInjected)
+	}
+	return f.MemStore.Read(id)
+}
+
+func (f *faultStore) Write(id PageID, p Page) error {
+	f.writes++
+	if f.failWrites {
+		return fmt.Errorf("write %v: %w", id, errInjected)
+	}
+	return f.MemStore.Write(id, p)
+}
+
+func TestBufferPoolSurfacesReadFailures(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore()}
+	pool := NewBufferPool(fs, 4, &Meter{})
+	id, _, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id, true)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Evict it by filling the pool, then fail the re-read.
+	for i := 0; i < 4; i++ {
+		nid, _, err := pool.NewPage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(nid, false)
+	}
+	fs.failReads = true
+	if _, err := pool.Get(id); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+}
+
+func TestBufferPoolSurfacesWriteFailuresOnEviction(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore()}
+	pool := NewBufferPool(fs, 1, &Meter{})
+	id, _, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id, true) // dirty
+	fs.failWrites = true
+	// Allocating a second page forces eviction of the dirty page.
+	if _, _, err := pool.NewPage(1); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+}
+
+func TestFlushLimitSurfacesWriteFailures(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore()}
+	pool := NewBufferPool(fs, 4, &Meter{})
+	id, _, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id, true)
+	fs.failWrites = true
+	if _, err := pool.FlushLimit(10); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+}
+
+func TestBTreePropagatesStorageFailures(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore()}
+	pool := NewBufferPool(fs, 8, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill beyond the pool so lookups must re-read evicted pages.
+	for i := int64(0); i < 5000; i++ {
+		if err := tree.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.failReads = true
+	if _, err := tree.Search(1); !errors.Is(err, errInjected) {
+		t.Fatalf("Search should surface storage failure, got %v", err)
+	}
+	if err := tree.ScanRange(0, 100, func(int64, uint64) bool { return true }); !errors.Is(err, errInjected) {
+		t.Fatalf("ScanRange should surface storage failure, got %v", err)
+	}
+}
+
+func TestHeapPropagatesStorageFailures(t *testing.T) {
+	fs := &faultStore{MemStore: NewMemStore()}
+	pool := NewBufferPool(fs, 2, &Meter{})
+	h := NewHeap(pool, 1)
+	rid, err := h.Insert([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict the heap page.
+	for i := 0; i < 2; i++ {
+		nid, _, err := pool.NewPage(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(nid, false)
+	}
+	fs.failReads = true
+	if _, err := h.Fetch(rid); !errors.Is(err, errInjected) {
+		t.Fatalf("Fetch should surface storage failure, got %v", err)
+	}
+}
+
+func TestHeapFetchBadSlot(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(), 4, &Meter{})
+	h := NewHeap(pool, 1)
+	rid, err := h.Insert([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := RID{PageNo: rid.PageNo, Slot: 99}
+	if _, err := h.Fetch(bad); err == nil {
+		t.Fatal("fetching a bogus slot should error")
+	}
+}
+
+func TestHeapUpdateFailurePaths(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(), 4, &Meter{})
+	h := NewHeap(pool, 1)
+	rid, err := h.Insert([]byte("abcd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.UpdateInPlace(rid, []byte("too long")); err == nil {
+		t.Fatal("size-changing update should error")
+	}
+	if err := h.UpdateInPlace(RID{PageNo: 999, Slot: 0}, []byte("abcd")); err == nil {
+		t.Fatal("updating a missing page should error")
+	}
+}

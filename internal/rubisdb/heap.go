@@ -1,0 +1,121 @@
+package rubisdb
+
+import "fmt"
+
+// RID locates a tuple: page number and slot within the heap file.
+// Encoded as uint64 (pageNo<<16 | slot) for storage in index values.
+type RID struct {
+	PageNo uint32
+	Slot   uint16
+}
+
+// Encode packs the RID for use as a B+tree value.
+func (r RID) Encode() uint64 { return uint64(r.PageNo)<<16 | uint64(r.Slot) }
+
+// DecodeRID unpacks an encoded RID.
+func DecodeRID(v uint64) RID {
+	return RID{PageNo: uint32(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+// Heap is an append-only heap file of variable-length tuples.
+type Heap struct {
+	pool *BufferPool
+	file uint32
+	last PageID
+	has  bool
+	// Rows counts stored tuples.
+	Rows int
+}
+
+// NewHeap creates an empty heap in file.
+func NewHeap(pool *BufferPool, file uint32) *Heap {
+	return &Heap{pool: pool, file: file}
+}
+
+// Insert appends a tuple and returns its RID.
+func (h *Heap) Insert(tuple []byte) (RID, error) {
+	if len(tuple) > PageSize/2 {
+		return RID{}, fmt.Errorf("rubisdb: tuple of %d bytes exceeds half page", len(tuple))
+	}
+	if h.has {
+		page, err := h.pool.Get(h.last)
+		if err != nil {
+			return RID{}, err
+		}
+		if slot, err := page.InsertCell(tuple); err == nil {
+			h.pool.Unpin(h.last, true)
+			h.Rows++
+			return RID{PageNo: h.last.PageNo, Slot: uint16(slot)}, nil
+		}
+		h.pool.Unpin(h.last, false)
+	}
+	id, page, err := h.pool.NewPage(h.file)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := page.InsertCell(tuple)
+	if err != nil {
+		h.pool.Unpin(id, false)
+		return RID{}, err
+	}
+	h.pool.Unpin(id, true)
+	h.last = id
+	h.has = true
+	h.Rows++
+	return RID{PageNo: id.PageNo, Slot: uint16(slot)}, nil
+}
+
+// Fetch returns a copy of the tuple at rid.
+func (h *Heap) Fetch(rid RID) ([]byte, error) {
+	id := PageID{File: h.file, PageNo: rid.PageNo}
+	page, err := h.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := page.Cell(int(rid.Slot))
+	if err != nil {
+		h.pool.Unpin(id, false)
+		return nil, err
+	}
+	out := append([]byte(nil), cell...)
+	h.pool.Unpin(id, false)
+	return out, nil
+}
+
+// UpdateInPlace overwrites the tuple at rid with a same-length payload.
+func (h *Heap) UpdateInPlace(rid RID, tuple []byte) error {
+	id := PageID{File: h.file, PageNo: rid.PageNo}
+	page, err := h.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	err = page.UpdateCellInPlace(int(rid.Slot), tuple)
+	h.pool.Unpin(id, err == nil)
+	return err
+}
+
+// Scan visits every tuple in heap order; fn returning false stops early.
+func (h *Heap) Scan(store *MemStore, fn func(rid RID, tuple []byte) bool) error {
+	n := store.PageCount(h.file)
+	for pn := uint32(0); pn < n; pn++ {
+		id := PageID{File: h.file, PageNo: pn}
+		page, err := h.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		cells := page.NumCells()
+		for s := 0; s < cells; s++ {
+			cell, err := page.Cell(s)
+			if err != nil {
+				h.pool.Unpin(id, false)
+				return err
+			}
+			if !fn(RID{PageNo: pn, Slot: uint16(s)}, cell) {
+				h.pool.Unpin(id, false)
+				return nil
+			}
+		}
+		h.pool.Unpin(id, false)
+	}
+	return nil
+}

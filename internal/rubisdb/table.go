@@ -1,0 +1,324 @@
+package rubisdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ColType is a column type.
+type ColType int
+
+// Column types supported by the RUBiS schema.
+const (
+	TInt64 ColType = iota
+	TFloat64
+	TString
+)
+
+// Column describes one schema column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// ColIndex returns the position of the named column or an error.
+func (s Schema) ColIndex(name string) (int, error) {
+	for i, c := range s {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("rubisdb: no column %q", name)
+}
+
+// Row is one tuple; element i must match Schema[i].Type (int64, float64,
+// or string).
+type Row []any
+
+// EncodeRow serializes row against schema. Int64 and Float64 are 8 bytes
+// big-endian; strings are length-prefixed (u16).
+func EncodeRow(schema Schema, row Row) ([]byte, error) {
+	if len(row) != len(schema) {
+		return nil, fmt.Errorf("rubisdb: row arity %d != schema arity %d", len(row), len(schema))
+	}
+	var out []byte
+	for i, col := range schema {
+		switch col.Type {
+		case TInt64:
+			v, ok := row[i].(int64)
+			if !ok {
+				return nil, fmt.Errorf("rubisdb: column %q wants int64, got %T", col.Name, row[i])
+			}
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(v))
+			out = append(out, b[:]...)
+		case TFloat64:
+			v, ok := row[i].(float64)
+			if !ok {
+				return nil, fmt.Errorf("rubisdb: column %q wants float64, got %T", col.Name, row[i])
+			}
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+			out = append(out, b[:]...)
+		case TString:
+			v, ok := row[i].(string)
+			if !ok {
+				return nil, fmt.Errorf("rubisdb: column %q wants string, got %T", col.Name, row[i])
+			}
+			if len(v) > 0xFFFF {
+				return nil, fmt.Errorf("rubisdb: column %q string too long (%d)", col.Name, len(v))
+			}
+			var b [2]byte
+			binary.BigEndian.PutUint16(b[:], uint16(len(v)))
+			out = append(out, b[:]...)
+			out = append(out, v...)
+		default:
+			return nil, fmt.Errorf("rubisdb: column %q has unknown type %d", col.Name, col.Type)
+		}
+	}
+	return out, nil
+}
+
+// DecodeRow parses a tuple serialized by EncodeRow.
+func DecodeRow(schema Schema, data []byte) (Row, error) {
+	row := make(Row, 0, len(schema))
+	off := 0
+	for _, col := range schema {
+		switch col.Type {
+		case TInt64:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("rubisdb: truncated tuple at column %q", col.Name)
+			}
+			row = append(row, int64(binary.BigEndian.Uint64(data[off:])))
+			off += 8
+		case TFloat64:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("rubisdb: truncated tuple at column %q", col.Name)
+			}
+			row = append(row, math.Float64frombits(binary.BigEndian.Uint64(data[off:])))
+			off += 8
+		case TString:
+			if off+2 > len(data) {
+				return nil, fmt.Errorf("rubisdb: truncated tuple at column %q", col.Name)
+			}
+			n := int(binary.BigEndian.Uint16(data[off:]))
+			off += 2
+			if off+n > len(data) {
+				return nil, fmt.Errorf("rubisdb: truncated string at column %q", col.Name)
+			}
+			row = append(row, string(data[off:off+n]))
+			off += n
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("rubisdb: %d trailing bytes after tuple", len(data)-off)
+	}
+	return row, nil
+}
+
+// Table is a heap file with a unique int64 primary key index and any
+// number of (non-unique) int64 secondary indexes.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	id      uint32
+	heap    *Heap
+	pkCol   int
+	pk      *BTree
+	secCols []int
+	secs    []*BTree
+
+	engine *Engine
+}
+
+// walInsert and walUpdate are WAL op codes.
+const (
+	walInsert = 1
+	walUpdate = 2
+)
+
+// Insert validates and stores row, maintaining all indexes, and returns
+// its RID.
+func (t *Table) Insert(row Row) (RID, error) {
+	tuple, err := EncodeRow(t.Schema, row)
+	if err != nil {
+		return RID{}, fmt.Errorf("table %s: %w", t.Name, err)
+	}
+	key, ok := row[t.pkCol].(int64)
+	if !ok {
+		return RID{}, fmt.Errorf("table %s: primary key must be int64", t.Name)
+	}
+	if existing, err := t.pk.Search(key); err != nil {
+		return RID{}, err
+	} else if len(existing) > 0 {
+		return RID{}, fmt.Errorf("table %s: duplicate primary key %d", t.Name, key)
+	}
+	rid, err := t.heap.Insert(tuple)
+	if err != nil {
+		return RID{}, err
+	}
+	if err := t.pk.Insert(key, rid.Encode()); err != nil {
+		return RID{}, err
+	}
+	for i, col := range t.secCols {
+		sk, ok := row[col].(int64)
+		if !ok {
+			return RID{}, fmt.Errorf("table %s: secondary key column %d must be int64", t.Name, col)
+		}
+		if err := t.secs[i].Insert(sk, rid.Encode()); err != nil {
+			return RID{}, err
+		}
+	}
+	t.engine.meter.RowsWritten++
+	t.engine.wal.AppendRecord(t.id, walInsert, tuple)
+	return rid, nil
+}
+
+// GetByPK returns the row with the given primary key, or nil when absent.
+func (t *Table) GetByPK(key int64) (Row, error) {
+	rids, err := t.pk.Search(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(rids) == 0 {
+		return nil, nil
+	}
+	return t.fetch(DecodeRID(rids[0]))
+}
+
+func (t *Table) fetch(rid RID) (Row, error) {
+	tuple, err := t.heap.Fetch(rid)
+	if err != nil {
+		return nil, err
+	}
+	t.engine.meter.RowsRead++
+	t.engine.meter.BytesOut += float64(len(tuple))
+	return DecodeRow(t.Schema, tuple)
+}
+
+// LookupBy returns up to limit rows whose indexed column equals key
+// (limit <= 0 means unlimited). The column must have a secondary index.
+func (t *Table) LookupBy(column string, key int64, limit int) ([]Row, error) {
+	return t.RangeBy(column, key, key, limit)
+}
+
+// RangeBy returns up to limit rows with lo <= column <= hi in index
+// order. The column must be the primary key or carry a secondary index.
+func (t *Table) RangeBy(column string, lo, hi int64, limit int) ([]Row, error) {
+	tree, err := t.indexFor(column)
+	if err != nil {
+		return nil, err
+	}
+	var rids []RID
+	err = tree.ScanRange(lo, hi, func(_ int64, v uint64) bool {
+		rids = append(rids, DecodeRID(v))
+		return limit <= 0 || len(rids) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(rids))
+	for _, rid := range rids {
+		row, err := t.fetch(rid)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CountBy counts index entries with lo <= column <= hi without fetching
+// rows (an index-only scan).
+func (t *Table) CountBy(column string, lo, hi int64) (int, error) {
+	tree, err := t.indexFor(column)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	err = tree.ScanRange(lo, hi, func(int64, uint64) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+func (t *Table) indexFor(column string) (*BTree, error) {
+	ci, err := t.Schema.ColIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	if ci == t.pkCol {
+		return t.pk, nil
+	}
+	for i, col := range t.secCols {
+		if col == ci {
+			return t.secs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("rubisdb: table %s has no index on %q", t.Name, column)
+}
+
+// UpdateNumeric overwrites fixed-width (int64/float64) columns of the row
+// with the given primary key. Indexed columns cannot be changed — the
+// RUBiS write paths only touch unindexed numerics (price, counters).
+func (t *Table) UpdateNumeric(key int64, updates map[string]any) error {
+	rids, err := t.pk.Search(key)
+	if err != nil {
+		return err
+	}
+	if len(rids) == 0 {
+		return fmt.Errorf("table %s: no row with pk %d", t.Name, key)
+	}
+	rid := DecodeRID(rids[0])
+	row, err := t.fetch(rid)
+	if err != nil {
+		return err
+	}
+	for name, val := range updates {
+		ci, err := t.Schema.ColIndex(name)
+		if err != nil {
+			return err
+		}
+		if ci == t.pkCol {
+			return fmt.Errorf("table %s: cannot update primary key", t.Name)
+		}
+		for i, col := range t.secCols {
+			_ = i
+			if col == ci {
+				return fmt.Errorf("table %s: cannot update indexed column %q", t.Name, name)
+			}
+		}
+		switch t.Schema[ci].Type {
+		case TInt64:
+			if _, ok := val.(int64); !ok {
+				return fmt.Errorf("table %s: update %q wants int64, got %T", t.Name, name, val)
+			}
+		case TFloat64:
+			if _, ok := val.(float64); !ok {
+				return fmt.Errorf("table %s: update %q wants float64, got %T", t.Name, name, val)
+			}
+		default:
+			return fmt.Errorf("table %s: UpdateNumeric cannot update string column %q", t.Name, name)
+		}
+		row[ci] = val
+	}
+	tuple, err := EncodeRow(t.Schema, row)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.UpdateInPlace(rid, tuple); err != nil {
+		return err
+	}
+	t.engine.meter.RowsWritten++
+	t.engine.wal.AppendRecord(t.id, walUpdate, tuple)
+	return nil
+}
+
+// Rows reports the stored tuple count.
+func (t *Table) Rows() int { return t.heap.Rows }

@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+func BenchmarkKernelScheduleAndRun(b *testing.B) {
+	k := NewKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Time(i%1000)*Microsecond, func() {})
+		if i%1024 == 0 {
+			k.Run(k.Now() + Millisecond)
+		}
+	}
+	k.Run(MaxTime)
+}
+
+func BenchmarkKernelTickerHeavy(b *testing.B) {
+	// The hypervisor's quantum ticker dominates event counts in real
+	// runs; this measures the kernel's sustained event throughput.
+	k := NewKernel()
+	count := 0
+	k.Every(Millisecond, Millisecond, func(Time) { count++ })
+	b.ResetTimer()
+	k.Run(Time(b.N) * Millisecond)
+	if count < b.N-1 {
+		b.Fatalf("ticker fired %d of %d", count, b.N)
+	}
+}

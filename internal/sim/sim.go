@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is virtual and measured in nanoseconds from the start of the
+// simulation. Events are executed in timestamp order; ties are broken by
+// insertion order so that a simulation with a fixed seed is fully
+// reproducible across runs and platforms.
+//
+// The kernel is intentionally single-threaded: determinism matters more
+// than parallelism for workload characterization, where an experiment must
+// regenerate the exact same trace for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds converts a floating-point number of seconds to a virtual Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Duration converts a time.Duration to a virtual time delta.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Sec reports the time as a floating-point number of seconds.
+func (t Time) Sec() float64 { return float64(t) / float64(Second) }
+
+// String renders the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Sec()) }
+
+// Event is a scheduled callback.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	pos  int // heap index, -1 when not queued
+	dead bool
+}
+
+// Time reports when the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].pos = i
+	q[j].pos = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.pos = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.pos = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation event loop.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Processed counts events executed so far (cancelled events excluded).
+	processed uint64
+}
+
+// NewKernel returns a kernel at virtual time zero with an empty queue.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Processed reports how many events have been executed.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it always indicates a model bug, and silently
+// reordering time would corrupt every downstream statistic.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, pos: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop halts the run loop after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in order until the queue is empty, Stop is called,
+// or the next event is later than until. The clock is left at the time of
+// the last executed event, or advanced to until when the queue drains
+// early, so that samplers observing Now see a full window.
+func (k *Kernel) Run(until Time) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.dead {
+			continue
+		}
+		k.now = next.at
+		k.processed++
+		next.fn()
+	}
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// Step executes exactly one non-cancelled event if one exists, returning
+// true when an event ran.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		k.now = e.at
+		k.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Every schedules fn at t, t+period, t+2*period, ... until the returned
+// Ticker is stopped. fn receives the firing time.
+func (k *Kernel) Every(start, period Time, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	tk := &Ticker{k: k, period: period, fn: fn}
+	tk.ev = k.At(start, tk.fire)
+	return tk
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	fn      func(Time)
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	now := t.k.Now()
+	t.fn(now)
+	if !t.stopped {
+		t.ev = t.k.At(now+t.period, t.fire)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

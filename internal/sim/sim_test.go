@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if got := Duration(3 * time.Millisecond); got != 3*Millisecond {
+		t.Fatalf("Duration = %v", got)
+	}
+	if got := (2 * Second).Sec(); got != 2.0 {
+		t.Fatalf("Sec = %v", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []Time
+	for _, at := range []Time{5 * Second, Second, 3 * Second, 2 * Second} {
+		at := at
+		k.At(at, func() { order = append(order, at) })
+	}
+	k.Run(MaxTime)
+	want := []Time{Second, 2 * Second, 3 * Second, 5 * Second}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Second, func() { order = append(order, i) })
+	}
+	k.Run(MaxTime)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v not FIFO", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(Second, func() {})
+	k.Run(MaxTime)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(0, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(Second, func() { fired = true })
+	e.Cancel()
+	k.Run(MaxTime)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestRunUntilStopsBeforeLaterEvents(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.At(Second, func() { count++ })
+	k.At(10*Second, func() { count++ })
+	k.Run(5 * Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if k.Now() != 5*Second {
+		t.Fatalf("Now = %v, want 5s (clock advances to until)", k.Now())
+	}
+	k.Run(MaxTime)
+	if count != 2 {
+		t.Fatalf("count = %d after draining, want 2", count)
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.At(Second, func() {
+		count++
+		k.Stop()
+	})
+	k.At(2*Second, func() { count++ })
+	k.Run(MaxTime)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt)", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits []Time
+	k.At(Second, func() {
+		hits = append(hits, k.Now())
+		k.After(Second, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run(MaxTime)
+	if len(hits) != 2 || hits[0] != Second || hits[1] != 2*Second {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestStep(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.At(Second, func() { count++ })
+	k.At(2*Second, func() { count++ })
+	if !k.Step() || count != 1 {
+		t.Fatalf("first Step: count=%d", count)
+	}
+	if !k.Step() || count != 2 {
+		t.Fatalf("second Step: count=%d", count)
+	}
+	if k.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel()
+	var fires []Time
+	tk := k.Every(2*Second, 2*Second, func(at Time) {
+		fires = append(fires, at)
+		if len(fires) == 5 {
+			// Stop from within the callback must prevent future fires.
+			k.Stop()
+		}
+	})
+	k.Run(20 * Second)
+	if len(fires) != 5 {
+		t.Fatalf("fired %d times, want 5", len(fires))
+	}
+	for i, at := range fires {
+		if want := Time(i+1) * 2 * Second; at != want {
+			t.Fatalf("fire %d at %v, want %v", i, at, want)
+		}
+	}
+	tk.Stop()
+	k.Run(30 * Second)
+	if len(fires) != 5 {
+		t.Fatalf("ticker fired after Stop: %d", len(fires))
+	}
+}
+
+func TestTickerStopPreventsRearm(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tk *Ticker
+	tk = k.Every(Second, Second, func(Time) {
+		count++
+		tk.Stop()
+	})
+	k.Run(10 * Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestProcessedCountsOnlyExecuted(t *testing.T) {
+	k := NewKernel()
+	e := k.At(Second, func() {})
+	k.At(2*Second, func() {})
+	e.Cancel()
+	k.Run(MaxTime)
+	if k.Processed() != 1 {
+		t.Fatalf("Processed = %d, want 1", k.Processed())
+	}
+}
+
+// Property: for any set of random timestamps, execution order is the
+// sorted order of the timestamps.
+func TestPropertyExecutionOrderSorted(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		k := NewKernel()
+		var got []Time
+		want := make([]Time, 0, len(raw))
+		for _, r := range raw {
+			at := Time(r)
+			want = append(want, at)
+			k.At(at, func() { got = append(got, at) })
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		k.Run(MaxTime)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards during any run.
+func TestPropertyMonotonicClock(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	k := NewKernel()
+	last := Time(-1)
+	var schedule func()
+	schedule = func() {
+		now := k.Now()
+		if now < last {
+			t.Fatalf("clock went backwards: %v < %v", now, last)
+		}
+		last = now
+		if k.Processed() < 5000 {
+			k.After(Time(r.Intn(1000)), schedule)
+			if r.Intn(3) == 0 {
+				k.After(Time(r.Intn(1000)), schedule)
+			}
+		}
+	}
+	k.At(0, schedule)
+	k.Run(MaxTime)
+	if k.Processed() < 5000 {
+		t.Fatalf("ran only %d events", k.Processed())
+	}
+}

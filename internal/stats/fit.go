@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution is a fitted univariate distribution.
+type Distribution interface {
+	// Name identifies the family, e.g. "normal".
+	Name() string
+	// CDF evaluates the cumulative distribution function at x.
+	CDF(x float64) float64
+	// Mean reports the distribution mean.
+	Mean() float64
+	// Params renders the fitted parameters for reports.
+	Params() string
+}
+
+// NormalDist is a Gaussian distribution.
+type NormalDist struct{ Mu, Sigma float64 }
+
+// Name implements Distribution.
+func (d NormalDist) Name() string { return "normal" }
+
+// Mean implements Distribution.
+func (d NormalDist) Mean() float64 { return d.Mu }
+
+// Params implements Distribution.
+func (d NormalDist) Params() string { return fmt.Sprintf("mu=%.4g sigma=%.4g", d.Mu, d.Sigma) }
+
+// CDF implements Distribution.
+func (d NormalDist) CDF(x float64) float64 {
+	if d.Sigma <= 0 {
+		if x < d.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// LogNormalDist is a lognormal distribution parameterized by the
+// underlying normal.
+type LogNormalDist struct{ Mu, Sigma float64 }
+
+// Name implements Distribution.
+func (d LogNormalDist) Name() string { return "lognormal" }
+
+// Mean implements Distribution.
+func (d LogNormalDist) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Params implements Distribution.
+func (d LogNormalDist) Params() string { return fmt.Sprintf("mu=%.4g sigma=%.4g", d.Mu, d.Sigma) }
+
+// CDF implements Distribution.
+func (d LogNormalDist) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalDist{Mu: d.Mu, Sigma: d.Sigma}.CDF(math.Log(x))
+}
+
+// ExponentialDist is an exponential distribution with rate Lambda.
+type ExponentialDist struct{ Lambda float64 }
+
+// Name implements Distribution.
+func (d ExponentialDist) Name() string { return "exponential" }
+
+// Mean implements Distribution.
+func (d ExponentialDist) Mean() float64 {
+	if d.Lambda == 0 {
+		return 0
+	}
+	return 1 / d.Lambda
+}
+
+// Params implements Distribution.
+func (d ExponentialDist) Params() string { return fmt.Sprintf("lambda=%.4g", d.Lambda) }
+
+// CDF implements Distribution.
+func (d ExponentialDist) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-d.Lambda*x)
+}
+
+// FitNormal fits a Gaussian by maximum likelihood.
+func FitNormal(xs []float64) (NormalDist, error) {
+	if len(xs) < 2 {
+		return NormalDist{}, fmt.Errorf("stats: FitNormal needs >=2 samples, got %d", len(xs))
+	}
+	s := Summarize(xs)
+	// MLE variance uses n, not n-1; the difference is immaterial for the
+	// trace lengths used here but we stay faithful to MLE.
+	mle := s.Variance * float64(s.N-1) / float64(s.N)
+	return NormalDist{Mu: s.Mean, Sigma: math.Sqrt(mle)}, nil
+}
+
+// FitLogNormal fits a lognormal by MLE over log(x); all samples must be
+// positive.
+func FitLogNormal(xs []float64) (LogNormalDist, error) {
+	if len(xs) < 2 {
+		return LogNormalDist{}, fmt.Errorf("stats: FitLogNormal needs >=2 samples, got %d", len(xs))
+	}
+	logs := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x <= 0 {
+			return LogNormalDist{}, fmt.Errorf("stats: FitLogNormal requires positive samples, got %g", x)
+		}
+		logs = append(logs, math.Log(x))
+	}
+	n, err := FitNormal(logs)
+	if err != nil {
+		return LogNormalDist{}, err
+	}
+	return LogNormalDist{Mu: n.Mu, Sigma: n.Sigma}, nil
+}
+
+// FitExponential fits an exponential by MLE (lambda = 1/mean); all
+// samples must be non-negative with a positive mean.
+func FitExponential(xs []float64) (ExponentialDist, error) {
+	if len(xs) == 0 {
+		return ExponentialDist{}, fmt.Errorf("stats: FitExponential on empty sample")
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return ExponentialDist{}, fmt.Errorf("stats: FitExponential requires non-negative samples, got %g", x)
+		}
+	}
+	m := Mean(xs)
+	if m <= 0 {
+		return ExponentialDist{}, fmt.Errorf("stats: FitExponential requires positive mean")
+	}
+	return ExponentialDist{Lambda: 1 / m}, nil
+}
+
+// KSDistance computes the Kolmogorov-Smirnov statistic between the
+// empirical distribution of xs and d.
+func KSDistance(xs []float64, d Distribution) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	maxD := 0.0
+	for i, x := range sorted {
+		cdf := d.CDF(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if diff := math.Abs(cdf - lo); diff > maxD {
+			maxD = diff
+		}
+		if diff := math.Abs(cdf - hi); diff > maxD {
+			maxD = diff
+		}
+	}
+	return maxD
+}
+
+// BestFit fits the normal, lognormal, and exponential families (skipping
+// families whose support the data violates) and returns the fit with the
+// smallest KS distance. It returns an error when no family is feasible.
+func BestFit(xs []float64) (Distribution, float64, error) {
+	type cand struct {
+		d  Distribution
+		ks float64
+	}
+	var cands []cand
+	if d, err := FitNormal(xs); err == nil {
+		cands = append(cands, cand{d, KSDistance(xs, d)})
+	}
+	if d, err := FitLogNormal(xs); err == nil {
+		cands = append(cands, cand{d, KSDistance(xs, d)})
+	}
+	if d, err := FitExponential(xs); err == nil {
+		cands = append(cands, cand{d, KSDistance(xs, d)})
+	}
+	if len(cands) == 0 {
+		return nil, 0, fmt.Errorf("stats: no distribution family feasible for sample")
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.ks < best.ks {
+			best = c
+		}
+	}
+	return best.d, best.ks, nil
+}

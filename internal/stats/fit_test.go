@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = 10 + 3*r.NormFloat64()
+	}
+	d, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Mu, 10, 0.1) || !almostEq(d.Sigma, 3, 0.1) {
+		t.Fatalf("fit = %+v", d)
+	}
+	if d.Name() != "normal" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if !almostEq(d.Mean(), d.Mu, 1e-12) {
+		t.Fatal("Mean should be Mu")
+	}
+	if !strings.Contains(d.Params(), "mu=") {
+		t.Fatalf("Params = %q", d.Params())
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	d := NormalDist{Mu: 0, Sigma: 1}
+	if !almostEq(d.CDF(0), 0.5, 1e-9) {
+		t.Fatalf("CDF(0) = %v", d.CDF(0))
+	}
+	if !almostEq(d.CDF(1.96), 0.975, 1e-3) {
+		t.Fatalf("CDF(1.96) = %v", d.CDF(1.96))
+	}
+	// Degenerate sigma behaves like a step function.
+	step := NormalDist{Mu: 5, Sigma: 0}
+	if step.CDF(4.9) != 0 || step.CDF(5.1) != 1 {
+		t.Fatal("degenerate normal should be a step")
+	}
+}
+
+func TestFitLogNormal(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = math.Exp(1 + 0.5*r.NormFloat64())
+	}
+	d, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Mu, 1, 0.02) || !almostEq(d.Sigma, 0.5, 0.02) {
+		t.Fatalf("fit = %+v", d)
+	}
+	if d.CDF(0) != 0 || d.CDF(-1) != 0 {
+		t.Fatal("lognormal CDF must be 0 for x<=0")
+	}
+	want := math.Exp(1 + 0.125)
+	if !almostEq(d.Mean(), want, 0.05*want) {
+		t.Fatalf("Mean = %v, want %v", d.Mean(), want)
+	}
+	if _, err := FitLogNormal([]float64{1, -2}); err == nil {
+		t.Fatal("negative sample should error")
+	}
+	if _, err := FitLogNormal([]float64{1}); err == nil {
+		t.Fatal("single sample should error")
+	}
+}
+
+func TestFitExponential(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 4
+	}
+	d, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Lambda, 0.25, 0.01) {
+		t.Fatalf("lambda = %v", d.Lambda)
+	}
+	if !almostEq(d.Mean(), 4, 0.2) {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if d.CDF(0) != 0 {
+		t.Fatal("CDF(0) should be 0")
+	}
+	if _, err := FitExponential(nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := FitExponential([]float64{-1, 2}); err == nil {
+		t.Fatal("negative sample should error")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Fatal("zero mean should error")
+	}
+	if (ExponentialDist{}).Mean() != 0 {
+		t.Fatal("zero-lambda Mean should be 0")
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	good := KSDistance(xs, NormalDist{Mu: 0, Sigma: 1})
+	bad := KSDistance(xs, NormalDist{Mu: 3, Sigma: 1})
+	if good >= bad {
+		t.Fatalf("KS: good=%v should beat bad=%v", good, bad)
+	}
+	if good > 0.02 {
+		t.Fatalf("KS for true distribution = %v", good)
+	}
+	if KSDistance(nil, NormalDist{}) != 0 {
+		t.Fatal("empty KS should be 0")
+	}
+}
+
+func TestBestFitSelectsRightFamily(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	exp := make([]float64, 20000)
+	for i := range exp {
+		exp[i] = r.ExpFloat64() * 2
+	}
+	d, ks, err := BestFit(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "exponential" {
+		t.Fatalf("BestFit chose %s (ks=%v) for exponential data", d.Name(), ks)
+	}
+
+	norm := make([]float64, 20000)
+	for i := range norm {
+		norm[i] = 100 + 5*r.NormFloat64()
+	}
+	d, _, err = BestFit(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "normal" {
+		t.Fatalf("BestFit chose %s for normal data", d.Name())
+	}
+}
+
+func TestBestFitInfeasible(t *testing.T) {
+	if _, _, err := BestFit([]float64{-5}); err == nil {
+		t.Fatal("single negative sample should have no feasible family")
+	}
+}

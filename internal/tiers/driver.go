@@ -1,0 +1,157 @@
+package tiers
+
+import (
+	"fmt"
+	"sort"
+
+	"vwchar/internal/rng"
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+)
+
+// Driver is the closed-loop client emulator: each of N clients thinks,
+// issues the next interaction of its session, waits for the response,
+// and repeats — the RUBiS client model with exponential think time.
+type Driver struct {
+	k     *sim.Kernel
+	app   *rubis.App
+	model rubis.Model
+	web   *WebAppServer
+	costs rubis.CostParams
+
+	clients []*client
+	// Completed counts finished interactions; Errors counts failed ones.
+	Completed uint64
+	Errors    uint64
+
+	respTimes []float64 // seconds, capped reservoir
+	byKind    map[rubis.Interaction]uint64
+	writes    uint64
+}
+
+type client struct {
+	id     int
+	sess   rubis.Session
+	state  rubis.Interaction
+	think  *rng.Stream
+	pick   *rng.Stream
+	sentAt sim.Time
+}
+
+// NewDriver builds a driver for n clients using independent named
+// substreams from src.
+func NewDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web *WebAppServer, costs rubis.CostParams, n int, src *rng.Source) *Driver {
+	d := &Driver{
+		k:      k,
+		app:    app,
+		model:  model,
+		web:    web,
+		costs:  costs,
+		byKind: make(map[rubis.Interaction]uint64),
+	}
+	for i := 0; i < n; i++ {
+		c := &client{
+			id:    i,
+			state: model.StartState(),
+			think: src.Stream(fmt.Sprintf("client-%d-think", i)),
+			pick:  src.Stream(fmt.Sprintf("client-%d-pick", i)),
+		}
+		c.sess.UserID = int64(i % int(app.TotalUsers()))
+		c.sess.ItemID = int64(i*7) % app.TotalItems()
+		c.sess.CategoryID = int64(i % app.Config.Categories)
+		c.sess.RegionID = int64(i % app.Config.Regions)
+		c.sess.ToUserID = int64((i * 13) % int(app.TotalUsers()))
+		d.clients = append(d.clients, c)
+	}
+	return d
+}
+
+// Start schedules every client's first request. Clients begin spread
+// over one think period so the closed loop starts desynchronized, as
+// real load generators ramp.
+func (d *Driver) Start() {
+	for _, c := range d.clients {
+		c := c
+		delay := sim.Seconds(c.think.Float64() * d.model.ThinkSeconds(c.think) / 2)
+		d.k.After(delay, func() { d.issue(c) })
+	}
+}
+
+func (d *Driver) issue(c *client) {
+	c.state = d.model.NextInteraction(c.state, c.pick)
+	res, err := d.app.Execute(c.state, &c.sess, c.pick, d.costs)
+	if err != nil {
+		// An interaction failure is a model bug worth surfacing in
+		// results rather than a condition to paper over silently.
+		d.Errors++
+		d.scheduleNext(c)
+		return
+	}
+	d.byKind[c.state]++
+	if res.IsWrite {
+		d.writes++
+	}
+	c.sentAt = d.k.Now()
+	d.web.be.NetExternal(res.RequestBytes, true, func() {
+		d.web.HandleRequest(res, func() {
+			rt := (d.k.Now() - c.sentAt).Sec()
+			d.Completed++
+			if len(d.respTimes) < 200000 {
+				d.respTimes = append(d.respTimes, rt)
+			}
+			d.scheduleNext(c)
+		})
+	})
+}
+
+func (d *Driver) scheduleNext(c *client) {
+	think := d.model.ThinkSeconds(c.think)
+	d.k.After(sim.Seconds(think), func() { d.issue(c) })
+}
+
+// WriteFraction reports the share of completed interactions that were
+// read-write.
+func (d *Driver) WriteFraction() float64 {
+	if d.Completed == 0 {
+		return 0
+	}
+	return float64(d.writes) / float64(d.Completed)
+}
+
+// InteractionCounts returns a copy of the per-interaction tally.
+func (d *Driver) InteractionCounts() map[rubis.Interaction]uint64 {
+	out := make(map[rubis.Interaction]uint64, len(d.byKind))
+	for k, v := range d.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// ResponseTimeQuantile reports the q-quantile of observed response times
+// in seconds.
+func (d *Driver) ResponseTimeQuantile(q float64) float64 {
+	if len(d.respTimes) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), d.respTimes...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// MeanResponseTime reports the mean response time in seconds.
+func (d *Driver) MeanResponseTime() float64 {
+	if len(d.respTimes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d.respTimes {
+		sum += v
+	}
+	return sum / float64(len(d.respTimes))
+}

@@ -1,0 +1,292 @@
+package tiers
+
+import (
+	"vwchar/internal/osmodel"
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+)
+
+// WebParams tunes the combined web+application server (Apache+PHP).
+type WebParams struct {
+	// Workers is the worker pool size; requests beyond it queue.
+	Workers int
+	// StageSplit is the fraction of an interaction's web CPU spent
+	// before the DB calls (parse, session, controller); the rest is
+	// template rendering after the data arrives.
+	StageSplit float64
+	// LogBytesPerRequest is access-log output.
+	LogBytesPerRequest float64
+	// SessionBytesPerRequest is session-state spill written per request.
+	SessionBytesPerRequest float64
+	// MemBase/MemChunk/MemMax/SpawnThreshold/SpawnCooldown drive the
+	// worker-pool memory allocator (the paper's RAM jumps).
+	MemBase        float64
+	MemChunk       float64
+	MemMax         float64
+	SpawnThreshold int
+	SpawnCooldown  sim.Time
+	// SpawnDiskBytes is the disk burst accompanying a worker-batch
+	// spawn (binaries, session directory churn) — the disk spikes the
+	// paper pairs with the RAM jumps.
+	SpawnDiskBytes float64
+}
+
+// DefaultWebParams returns the calibrated web tier for the given
+// deployment ("vm" or "pm").
+func DefaultWebParams(deployment string) WebParams {
+	p := WebParams{
+		Workers:                64,
+		StageSplit:             0.38,
+		LogBytesPerRequest:     210,
+		SessionBytesPerRequest: 1600,
+		SpawnCooldown:          70 * sim.Second,
+		SpawnDiskBytes:         5.5e6,
+	}
+	switch deployment {
+	case "pm":
+		// Bare-metal Apache starts bigger (full OS, more spare servers)
+		// and spawns earlier relative to its concurrency: the paper sees
+		// jumps even for bidding, earlier in time than in VMs.
+		p.MemBase = 390e6
+		p.MemChunk = 120e6
+		p.MemMax = 880e6
+		p.SpawnThreshold = 2
+	default:
+		p.MemBase = 200e6
+		p.MemChunk = 135e6
+		p.MemMax = 760e6
+		p.SpawnThreshold = 5
+	}
+	return p
+}
+
+// WebAppServer is the front-end tier.
+type WebAppServer struct {
+	k      *sim.Kernel
+	be     Backend
+	db     *DBServer
+	params WebParams
+	alloc  osmodel.ChunkAllocator
+
+	active int
+	queue  []*webRequest
+	// pendingSpill batches log/session writes until the pdflush-style
+	// ticker writes them back (the guest page cache), which is what
+	// shapes the web tier's spiky disk trace.
+	pendingSpill float64
+	// Served counts completed requests; QueuePeak tracks the maximum
+	// backlog+active seen.
+	Served    uint64
+	QueuePeak int
+}
+
+type webRequest struct {
+	res  *rubis.Result
+	done func()
+}
+
+// NewWebAppServer builds the tier on a backend, wired to its DB peer.
+func NewWebAppServer(k *sim.Kernel, be Backend, db *DBServer, params WebParams) *WebAppServer {
+	w := &WebAppServer{k: k, be: be, db: db, params: params}
+	w.alloc = osmodel.ChunkAllocator{
+		Mem:       be.Mem(),
+		Label:     "apache",
+		Base:      params.MemBase,
+		Chunk:     params.MemChunk,
+		Max:       params.MemMax,
+		Threshold: params.SpawnThreshold,
+		Cooldown:  params.SpawnCooldown,
+	}
+	w.alloc.Init()
+	be.OS().Fork(params.Workers / 8) // initial spare servers
+	k.Every(5*sim.Second, 5*sim.Second, w.flushSpill)
+	return w
+}
+
+// flushSpill writes the buffered log/session bytes back every 5 seconds,
+// as the guest kernel's periodic writeback does.
+func (w *WebAppServer) flushSpill(now sim.Time) {
+	if w.pendingSpill <= 0 {
+		return
+	}
+	w.be.DiskIO(w.pendingSpill, true, nil)
+	w.pendingSpill = 0
+}
+
+// Growths reports how many worker-batch spawns (RAM jumps) occurred.
+func (w *WebAppServer) Growths() int { return w.alloc.Growths }
+
+// HandleRequest processes one parsed interaction; done fires when the
+// response has been transmitted to the client.
+func (w *WebAppServer) HandleRequest(res *rubis.Result, done func()) {
+	level := w.active + len(w.queue) + 1
+	if level > w.QueuePeak {
+		w.QueuePeak = level
+	}
+	if w.alloc.Observe(w.k.Now(), level) {
+		// Worker-batch spawn: fork children, touch disk.
+		w.be.OS().Fork(8)
+		w.be.DiskIO(w.params.SpawnDiskBytes, true, nil)
+		w.be.OS().NoteFaults(2200, 14)
+	}
+	req := &webRequest{res: res, done: done}
+	if w.active >= w.params.Workers {
+		w.queue = append(w.queue, req)
+		return
+	}
+	w.start(req)
+}
+
+func (w *WebAppServer) start(req *webRequest) {
+	w.active++
+	os := w.be.OS()
+	os.RunQueue++
+	os.NoteContext(4)
+	os.NoteFaults(35, 0)
+	stage1 := req.res.WebCycles * w.params.StageSplit
+	w.be.SubmitCPU(stage1, func() {
+		w.runQueries(req, 0)
+	})
+}
+
+// runQueries issues the interaction's DB calls sequentially, as the PHP
+// runtime does.
+func (w *WebAppServer) runQueries(req *webRequest, i int) {
+	if i >= len(req.res.Queries) {
+		w.finish(req)
+		return
+	}
+	q := req.res.Queries[i]
+	w.be.NetToPeer(q.RequestBytes, func() {
+		w.db.HandleQuery(q, func() {
+			w.runQueries(req, i+1)
+		})
+	})
+}
+
+func (w *WebAppServer) finish(req *webRequest) {
+	stage2 := req.res.WebCycles * (1 - w.params.StageSplit)
+	w.be.SubmitCPU(stage2, func() {
+		// Access log + session spill accumulate in the page cache and
+		// reach the disk on the writeback tick.
+		spill := w.params.SessionBytesPerRequest * (req.res.ResponseBytes / 9000)
+		w.pendingSpill += w.params.LogBytesPerRequest + spill
+		w.be.NetExternal(req.res.ResponseBytes, false, func() {
+			w.Served++
+			if req.done != nil {
+				req.done()
+			}
+		})
+		w.release()
+	})
+}
+
+func (w *WebAppServer) release() {
+	w.active--
+	os := w.be.OS()
+	if os.RunQueue > 0 {
+		os.RunQueue--
+	}
+	if len(w.queue) > 0 {
+		next := w.queue[0]
+		w.queue = w.queue[1:]
+		w.start(next)
+	}
+}
+
+// DBParams tunes the database tier.
+type DBParams struct {
+	// MemBase is the resident engine base (code, connection pool,
+	// dictionaries).
+	MemBase float64
+	// CacheCeiling bounds the warm page/buffer cache growth.
+	CacheCeiling float64
+	// CheckpointEvery flushes dirty pages periodically.
+	CheckpointEvery sim.Time
+}
+
+// DefaultDBParams returns the calibrated DB tier for "vm" or "pm".
+func DefaultDBParams(deployment string) DBParams {
+	p := DBParams{
+		MemBase:         96e6,
+		CacheCeiling:    122e6,
+		CheckpointEvery: 12 * sim.Second,
+	}
+	if deployment == "pm" {
+		p.MemBase = 430e6
+		p.CacheCeiling = 270e6
+	}
+	return p
+}
+
+// DBServer is the back-end tier: it replays storage engine receipts as
+// simulated demand and sends projected result bytes back to the web tier.
+type DBServer struct {
+	k      *sim.Kernel
+	be     Backend
+	params DBParams
+	cache  osmodel.PageCache
+	app    *rubis.App
+
+	// Queries counts handled calls.
+	Queries uint64
+}
+
+// NewDBServer builds the tier and starts its checkpoint ticker.
+func NewDBServer(k *sim.Kernel, be Backend, app *rubis.App, params DBParams) *DBServer {
+	d := &DBServer{k: k, be: be, params: params, app: app}
+	be.Mem().Set("mysqld", params.MemBase)
+	d.cache = osmodel.PageCache{Mem: be.Mem(), Label: "dbcache", Ceiling: params.CacheCeiling}
+	be.OS().Fork(12)
+	if params.CheckpointEvery > 0 {
+		k.Every(params.CheckpointEvery, params.CheckpointEvery, d.checkpoint)
+	}
+	return d
+}
+
+// checkpointPageCap bounds each fuzzy checkpoint's write-back, like
+// InnoDB's io-capacity setting; without it the DB tier's disk trace
+// would dwarf the web tier's, inverting the paper's 5.71x disk ratio.
+const checkpointPageCap = 48
+
+func (d *DBServer) checkpoint(now sim.Time) {
+	if d.app == nil {
+		return
+	}
+	flushed, err := d.app.Engine.FuzzyCheckpoint(checkpointPageCap)
+	if err != nil || flushed == 0 {
+		return
+	}
+	d.be.DiskIO(float64(flushed)*8192, true, nil)
+}
+
+// HandleQuery replays one query receipt; done fires when the reply has
+// reached the web tier.
+func (d *DBServer) HandleQuery(q rubis.QueryCost, done func()) {
+	d.Queries++
+	os := d.be.OS()
+	os.RunQueue++
+	os.NoteContext(3)
+	d.be.SubmitCPU(q.Receipt.CPUCycles, func() {
+		finish := func() {
+			if os.RunQueue > 0 {
+				os.RunQueue--
+			}
+			// WAL/journal traffic is asynchronous group commit, but a
+			// write transaction also forces a synchronous fsync chain.
+			if q.Receipt.DiskWriteBytes > 0 {
+				d.be.DiskIO(q.Receipt.DiskWriteBytes, true, nil)
+			}
+			if q.Receipt.Work.RowsWritten > 0 {
+				d.be.Fsync(2)
+			}
+			d.be.NetToPeer(q.ReplyBytes, done)
+		}
+		if q.Receipt.DiskReadBytes > 0 {
+			d.cache.Touch(q.Receipt.DiskReadBytes * 8)
+			d.be.DiskIO(q.Receipt.DiskReadBytes, false, finish)
+		} else {
+			finish()
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(vals ...float64) *Series {
+	s := New("test", "KB")
+	s.Values = vals
+	return s
+}
+
+func TestBasicsOnEmpty(t *testing.T) {
+	s := New("e", "x")
+	if s.Len() != 0 || s.Sum() != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty series aggregates should be zero")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestAppendAndTimeAt(t *testing.T) {
+	s := New("a", "x")
+	s.Append(1)
+	s.Append(2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TimeAt(0) != 0 || s.TimeAt(1) != 2 {
+		t.Fatalf("TimeAt wrong: %v %v", s.TimeAt(0), s.TimeAt(1))
+	}
+	s.Start = 10
+	if s.TimeAt(1) != 12 {
+		t.Fatalf("TimeAt with Start: %v", s.TimeAt(1))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := mkSeries(1, 2, 3, 4)
+	if s.Sum() != 10 || s.Mean() != 2.5 || s.Max() != 4 || s.Min() != 1 {
+		t.Fatalf("aggregates: sum=%v mean=%v max=%v min=%v", s.Sum(), s.Mean(), s.Max(), s.Min())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := mkSeries(1, 2)
+	c := s.Clone("copy")
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+	if c.Name != "copy" {
+		t.Fatalf("Clone name = %q", c.Name)
+	}
+	if s.Clone("").Name != "test" {
+		t.Fatal("empty name should keep original")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := mkSeries(0, 1, 2, 3, 4, 5)
+	sub := s.Slice(2, 4)
+	if sub.Len() != 2 || sub.At(0) != 2 || sub.At(1) != 3 {
+		t.Fatalf("Slice values: %v", sub.Values)
+	}
+	if sub.Start != 4 {
+		t.Fatalf("Slice start = %v, want 4", sub.Start)
+	}
+	if s.Slice(-5, 100).Len() != 6 {
+		t.Fatal("Slice should clamp bounds")
+	}
+	if s.Slice(4, 2).Len() != 0 {
+		t.Fatal("inverted Slice should be empty")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := mkSeries(1, 2, 3)
+	b := mkSeries(10, 20)
+	sum := Add("total", a, b)
+	if sum.Len() != 2 {
+		t.Fatalf("Add should truncate to shortest: %d", sum.Len())
+	}
+	if sum.At(0) != 11 || sum.At(1) != 22 {
+		t.Fatalf("Add values: %v", sum.Values)
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	a := mkSeries(1)
+	b := mkSeries(1)
+	b.Interval = 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with interval mismatch did not panic")
+		}
+	}()
+	Add("x", a, b)
+}
+
+func TestAddPanicsOnEmptyArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add() did not panic")
+		}
+	}()
+	Add("x")
+}
+
+func TestScale(t *testing.T) {
+	s := mkSeries(1, 2).Scale(3)
+	if s.At(0) != 3 || s.At(1) != 6 {
+		t.Fatalf("Scale: %v", s.Values)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mkSeries(1, 3, 5, 7, 9)
+	r := s.Resample(2)
+	if r.Len() != 2 || r.At(0) != 2 || r.At(1) != 6 {
+		t.Fatalf("Resample: %v", r.Values)
+	}
+	if r.Interval != 4 {
+		t.Fatalf("Resample interval = %v", r.Interval)
+	}
+	if s.Resample(1).Len() != 5 {
+		t.Fatal("Resample(1) should be identity")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	d := mkSeries(10, 15, 13).Diff()
+	if d.Len() != 2 || d.At(0) != 5 || d.At(1) != -2 {
+		t.Fatalf("Diff: %v", d.Values)
+	}
+	if d.Start != 2 {
+		t.Fatalf("Diff start = %v", d.Start)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := mkSeries(4, 1, 3, 2)
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); q != 2.5 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := mkSeries(1.5, 2.25, 3)
+	s.Start = 4
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("round trip len = %d", got.Len())
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Fatalf("value %d: %v != %v", i, got.Values[i], s.Values[i])
+		}
+	}
+	if got.Start != 4 || got.Interval != 2 {
+		t.Fatalf("round trip start=%v interval=%v", got.Start, got.Interval)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("time_s,v\nxx,1\n")); err == nil {
+		t.Fatal("bad time should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("time_s,v\n1,yy\n")); err == nil {
+		t.Fatal("bad value should error")
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	a := mkSeries(1, 2, 3)
+	a.Name = "a"
+	b := mkSeries(10, 20)
+	b.Name = "b"
+	var buf bytes.Buffer
+	if err := WriteTableCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table rows = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "a (KB)") || !strings.Contains(lines[0], "b (KB)") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[3], ",") {
+		t.Fatalf("short series should pad: %q", lines[3])
+	}
+	if err := WriteTableCSV(&buf); err != nil {
+		t.Fatal("empty table should be a no-op")
+	}
+}
+
+// Property: Add is commutative and Sum distributes over Add.
+func TestPropertyAddCommutative(t *testing.T) {
+	f := func(av, bv []float64) bool {
+		for _, v := range append(append([]float64(nil), av...), bv...) {
+			// Values near MaxFloat64 overflow on addition; real demand
+			// counters are far below that.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		a, b := mkSeries(av...), mkSeries(bv...)
+		ab := Add("ab", a, b)
+		ba := Add("ba", b, a)
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		for i := range ab.Values {
+			if ab.Values[i] != ba.Values[i] {
+				return false
+			}
+		}
+		n := ab.Len()
+		want := a.Slice(0, n).Sum() + b.Slice(0, n).Sum()
+		return math.Abs(ab.Sum()-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := mkSeries(clean...)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

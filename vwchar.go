@@ -1,0 +1,230 @@
+// Package vwchar reproduces "Characterizing Workload of Web Applications
+// on Virtualized Servers" (Wang, Huang, Fu, Kavi; 2014) as a library: a
+// deterministic discrete-event simulation of the paper's testbed (a Xen
+// host running the RUBiS auction benchmark in VMs, and the same benchmark
+// on two bare-metal servers), a sysstat/perf-style monitoring plane
+// profiling 518 metrics every 2 seconds, and the statistical
+// characterization layer that regenerates every figure, Table 1, and the
+// headline ratios of the paper's evaluation.
+//
+// Quick start:
+//
+//	pair, err := vwchar.RunPair(vwchar.Virtualized, 42)
+//	fig1, _ := vwchar.BuildFigure(1, pair.Browse, pair.Bid)
+//	report := vwchar.Characterize(virtPair, physPair)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison.
+package vwchar
+
+import (
+	"io"
+
+	"vwchar/internal/characterize"
+	"vwchar/internal/experiment"
+	"vwchar/internal/model"
+	"vwchar/internal/plot"
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+	"vwchar/internal/sysstat"
+	"vwchar/internal/timeseries"
+)
+
+// Re-exported experiment types: these form the primary public API.
+type (
+	// Config parameterizes one experiment run.
+	Config = experiment.Config
+	// Result is a completed run with its collected series.
+	Result = experiment.Result
+	// Env selects virtualized or physical deployment.
+	Env = experiment.Env
+	// MixKind selects the client request composition.
+	MixKind = experiment.MixKind
+	// Figure is one of the paper's Figures 1-8.
+	Figure = experiment.Figure
+	// Panel is one sub-figure (browse and bid curves for one tier).
+	Panel = experiment.Panel
+	// Series is a 2-second-sampled metric trace.
+	Series = timeseries.Series
+	// Ratios holds one value per resource class (CPU/RAM/disk/network).
+	Ratios = characterize.Ratios
+	// Report is the full Section 4 characterization.
+	Report = characterize.Report
+	// Table1Row is one row of the reproduced Table 1.
+	Table1Row = sysstat.Table1Row
+)
+
+// Deployment environments.
+const (
+	Virtualized = experiment.Virtualized
+	Physical    = experiment.Physical
+)
+
+// Request compositions (the paper's five).
+const (
+	MixBrowsing = experiment.MixBrowsing
+	MixBidding  = experiment.MixBidding
+	Mix30Browse = experiment.Mix30Browse
+	Mix50Browse = experiment.Mix50Browse
+	Mix70Browse = experiment.Mix70Browse
+)
+
+// Tier names accepted by Result accessors and characterization.
+const (
+	TierWeb  = experiment.TierWeb
+	TierDB   = experiment.TierDB
+	TierDom0 = experiment.TierDom0
+)
+
+// DefaultConfig returns the paper's experimental setup (1000 clients,
+// 7 s think time, 600 samples of 2 s) for the given deployment and mix.
+func DefaultConfig(env Env, mix MixKind) Config { return experiment.DefaultConfig(env, mix) }
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) { return experiment.Run(cfg) }
+
+// Pair bundles the browse-only and bid-only runs of one environment,
+// which is the unit every figure and ratio consumes.
+type Pair struct {
+	Browse, Bid *Result
+}
+
+// RunPair runs the browsing and bidding experiments in env with the
+// paper's default setup and the given seed.
+func RunPair(env Env, seed uint64) (*Pair, error) {
+	browseCfg := DefaultConfig(env, MixBrowsing)
+	browseCfg.Seed = seed
+	browse, err := Run(browseCfg)
+	if err != nil {
+		return nil, err
+	}
+	bidCfg := DefaultConfig(env, MixBidding)
+	bidCfg.Seed = seed + 1
+	bid, err := Run(bidCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Browse: browse, Bid: bid}, nil
+}
+
+// RunPairScaled is RunPair with a shorter duration and smaller client
+// population, for tests and CI (duration in seconds).
+func RunPairScaled(env Env, seed uint64, clients int, durationSec float64) (*Pair, error) {
+	run := func(mix MixKind, s uint64) (*Result, error) {
+		cfg := DefaultConfig(env, mix)
+		cfg.Seed = s
+		cfg.Clients = clients
+		cfg.Duration = sim.Seconds(durationSec)
+		return Run(cfg)
+	}
+	browse, err := run(MixBrowsing, seed)
+	if err != nil {
+		return nil, err
+	}
+	bid, err := run(MixBidding, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Browse: browse, Bid: bid}, nil
+}
+
+// BuildFigure assembles the paper's figure id (1-8) from a run pair of
+// the matching environment.
+func BuildFigure(id int, browse, bid *Result) (Figure, error) {
+	return experiment.BuildFigure(id, browse, bid)
+}
+
+// FigureSpecs lists the eight figures with captions and environments.
+func FigureSpecs() []experiment.FigureSpec { return experiment.FigureSpecs() }
+
+// Characterize computes the paper's Section 4 analyses from the two
+// environment pairs.
+func Characterize(virt, phys *Pair) Report {
+	return characterize.BuildReport(virt.Browse, virt.Bid, phys.Browse, phys.Bid)
+}
+
+// TierRatios computes the front-end/back-end demand ratios (§4.1).
+func TierRatios(r *Result) Ratios { return characterize.TierRatios(r) }
+
+// VMToDom0Ratios computes the VM-aggregate vs dom0 ratios (§4.1).
+func VMToDom0Ratios(r *Result) Ratios { return characterize.VMToDom0Ratios(r) }
+
+// EnvAggregateRatios computes the non-virt vs virt aggregate ratios (§4.2).
+func EnvAggregateRatios(virt, phys *Result) Ratios {
+	return characterize.EnvAggregateRatios(virt, phys)
+}
+
+// PhysicalDelta computes the §4.2 physical-demand deltas.
+func PhysicalDelta(virt, phys *Result) Ratios {
+	return characterize.PhysicalDelta(virt, phys)
+}
+
+// Table1 returns the reproduced Table 1 rows.
+func Table1() []Table1Row { return sysstat.Table1() }
+
+// WriteTable1 renders Table 1 as text.
+func WriteTable1(w io.Writer) error { return sysstat.WriteTable1(w) }
+
+// TotalProfiledMetrics reports the monitoring-plane width (518: 182
+// hypervisor sysstat + 182 VM sysstat + 154 perf counters).
+func TotalProfiledMetrics() int { return sysstat.TotalProfiledMetrics() }
+
+// Formal workload modeling (the paper's stated future work): resource-
+// level series models and transaction-level demand prediction.
+type (
+	// WorkloadModel is the fitted resource-level model of one run.
+	WorkloadModel = model.WorkloadModel
+	// SeriesModel is one fitted demand series (marginal + AR(1)).
+	SeriesModel = model.SeriesModel
+	// TransactionModel maps interactions to resource footprints.
+	TransactionModel = model.TransactionModel
+	// DemandPrediction is a transaction-level aggregate forecast.
+	DemandPrediction = model.DemandPrediction
+	// Interaction names one of the 26 RUBiS request types.
+	Interaction = rubis.Interaction
+	// MixModel is a client behaviour model (Markov chain + think time).
+	MixModel = rubis.Model
+	// DatasetConfig scales the generated auction dataset.
+	DatasetConfig = rubis.DatasetConfig
+)
+
+// FitWorkloadModel fits the resource-level workload model to a run.
+func FitWorkloadModel(r *Result) (*WorkloadModel, error) { return model.Fit(r) }
+
+// FitTransactionModel measures per-interaction resource footprints.
+func FitTransactionModel(cfg DatasetConfig, samplesPer int, seed uint64) (*TransactionModel, error) {
+	return model.FitTransactions(cfg, samplesPer, seed)
+}
+
+// DefaultDataset returns the standard scaled RUBiS dataset.
+func DefaultDataset() DatasetConfig { return rubis.DefaultDataset() }
+
+// BrowsingModel and BiddingModel expose the paper's two client mixes for
+// transaction-level prediction.
+func BrowsingModel() MixModel { return rubis.BrowsingMix() }
+
+// BiddingModel returns the read-write client mix.
+func BiddingModel() MixModel { return rubis.BiddingMix() }
+
+// RenderFigure draws a figure's panels as ASCII charts.
+func RenderFigure(w io.Writer, fig Figure) error {
+	for _, p := range fig.Panels {
+		opts := plot.DefaultOptions(p.Title, p.Unit)
+		if err := plot.Render(w, opts, p.Browse, p.Bid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigureCSV exports a figure as one CSV table per panel.
+func WriteFigureCSV(w io.Writer, fig Figure) error {
+	for _, p := range fig.Panels {
+		browse := p.Browse.Clone(p.Title + " browse")
+		bid := p.Bid.Clone(p.Title + " bid")
+		if err := timeseries.WriteTableCSV(w, browse, bid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
