@@ -7,6 +7,7 @@
 package vwchar_test
 
 import (
+	"bytes"
 	"io"
 	"testing"
 
@@ -179,6 +180,81 @@ func BenchmarkMixSweep(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// sweepSpec is the paper's full experiment grid — both deployments
+// crossed with all five request compositions — replicated 10 times per
+// point, at benchmark scale (the dataset is shrunk so one replication
+// is dominated by simulation rather than dataset population).
+func sweepSpec(workers, replications int) vwchar.SweepSpec {
+	return vwchar.SweepSpec{
+		Points: vwchar.FullSweepGrid(func(c *vwchar.Config) {
+			c.Clients = 40
+			c.Duration = 30 * sim.Second
+			c.Dataset.Users = 2000
+			c.Dataset.ActiveItems = 600
+			c.Dataset.OldItems = 1300
+			c.Dataset.BufferPages = 500
+		}),
+		Replications: replications,
+		RootSeed:     42,
+		Workers:      workers,
+	}
+}
+
+func sweepTable(tb testing.TB, spec vwchar.SweepSpec) []byte {
+	sr, err := vwchar.Sweep(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteTable(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		tb.Fatal("empty sweep table")
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkSweepWorkers1 and BenchmarkSweepWorkers8 time the full
+// 2-env × 5-mix × 10-replication sweep (100 isolated sim kernels)
+// sequentially and on an 8-worker pool. The jobs are independent and
+// CPU-bound, so on an 8-core host the 8-worker run completes >=4x
+// faster; TestFullSweepByteIdenticalAcrossWorkers pins that the
+// aggregated output bytes are nevertheless identical.
+func BenchmarkSweepWorkers1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = sweepTable(b, sweepSpec(1, 10))
+	}
+}
+
+func BenchmarkSweepWorkers8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = sweepTable(b, sweepSpec(8, 10))
+	}
+}
+
+// TestFullSweepByteIdenticalAcrossWorkers runs the full 10-point grid
+// at workers=1 and workers=8 and requires byte-identical aggregated
+// output. One replication at reduced scale keeps the two sweeps cheap
+// under -race on small CI runners; seed derivation is per-job, so
+// neither replication count nor scale affects the property (the
+// runner's own regression test covers multi-replication grids).
+func TestFullSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	spec := func(workers int) vwchar.SweepSpec {
+		s := sweepSpec(workers, 1)
+		for i := range s.Points {
+			s.Points[i].Config.Clients = 20
+			s.Points[i].Config.Duration = 20 * sim.Second
+		}
+		return s
+	}
+	seq := sweepTable(t, spec(1))
+	par := sweepTable(t, spec(8))
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("aggregated sweep output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	figures -out out -seed 42 [-scale 1.0]
+//	figures -out out -seed 42 [-scale 1.0] [-workers N]
 package main
 
 import (
@@ -17,21 +17,23 @@ import (
 	"path/filepath"
 
 	"vwchar"
+	"vwchar/internal/sim"
 )
 
 func main() {
 	outDir := flag.String("out", "out", "directory for CSV exports")
-	seed := flag.Uint64("seed", 42, "experiment seed")
+	seed := flag.Uint64("seed", 42, "root experiment seed")
 	scale := flag.Float64("scale", 1.0, "scale factor for clients and duration (1.0 = paper scale)")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*outDir, *seed, *scale); err != nil {
+	if err := run(*outDir, *seed, *scale, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, seed uint64, scale float64) error {
+func run(outDir string, seed uint64, scale float64, workers int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -57,13 +59,46 @@ func run(outDir string, seed uint64, scale float64) error {
 		return err
 	}
 
-	fmt.Printf("\nrunning virtualized pair (%d clients, %.0f s)...\n", clients, duration)
-	virt, err := vwchar.RunPairScaled(vwchar.Virtualized, seed, clients, duration)
+	// The four runs behind every figure (each env's browse and bid) are
+	// independent, so fan them out over the sweep runner instead of
+	// running them back to back.
+	fmt.Printf("\nrunning %d-client, %.0f s experiments (virtualized + physical, browse + bid)...\n",
+		clients, duration)
+	sr, err := vwchar.Sweep(vwchar.SweepSpec{
+		Points: vwchar.SweepGrid(vwchar.Envs(),
+			[]vwchar.MixKind{vwchar.MixBrowsing, vwchar.MixBidding},
+			func(c *vwchar.Config) {
+				c.Clients = clients
+				c.Duration = sim.Seconds(duration)
+			}),
+		RootSeed: seed,
+		Workers:  workers,
+		OnProgress: func(p vwchar.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s done\n", p.Done, p.Total, p.Job.Point)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("running physical pair...")
-	phys, err := vwchar.RunPairScaled(vwchar.Physical, seed+100, clients, duration)
+	pairFor := func(env vwchar.Env) (*vwchar.Pair, error) {
+		pair := &vwchar.Pair{}
+		for mix, dst := range map[vwchar.MixKind]**vwchar.Result{
+			vwchar.MixBrowsing: &pair.Browse,
+			vwchar.MixBidding:  &pair.Bid,
+		} {
+			pr := sr.Point(fmt.Sprintf("%s/%s", env, mix))
+			if pr == nil || pr.Reps[0] == nil {
+				return nil, fmt.Errorf("sweep missing %s/%s", env, mix)
+			}
+			*dst = pr.Reps[0]
+		}
+		return pair, nil
+	}
+	virt, err := pairFor(vwchar.Virtualized)
+	if err != nil {
+		return err
+	}
+	phys, err := pairFor(vwchar.Physical)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSmoke regenerates all artifacts at the smallest accepted scale
+// (25 clients, 30 s — the same dynamics the benchmarks use) and checks
+// every export lands non-empty.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 42, 0.025, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table1.txt", "report.txt"}
+	for id := 1; id <= 8; id++ {
+		want = append(want, fmt.Sprintf("figure%d.csv", id))
+	}
+	for _, name := range want {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("artifact %s is empty", name)
+		}
+	}
+}
+
+func TestRunRejectsTinyScale(t *testing.T) {
+	if err := run(t.TempDir(), 42, 0.001, 1); err == nil {
+		t.Fatal("scale 0.001 accepted")
+	}
+}

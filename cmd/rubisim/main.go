@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vwchar"
@@ -24,24 +25,36 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the headline series as CSV instead of charts")
 	flag.Parse()
 
-	cfg := vwchar.DefaultConfig(vwchar.Env(*env), vwchar.MixKind(*mix))
-	cfg.Clients = *clients
-	cfg.Duration = sim.Seconds(*duration)
-	cfg.Seed = *seed
-
-	res, err := vwchar.Run(cfg)
+	e, err := vwchar.ParseEnv(*env)
+	if err == nil {
+		var m vwchar.MixKind
+		if m, err = vwchar.ParseMix(*mix); err == nil {
+			cfg := vwchar.DefaultConfig(e, m)
+			cfg.Clients = *clients
+			cfg.Duration = sim.Seconds(*duration)
+			cfg.Seed = *seed
+			err = run(cfg, *csv, os.Stdout)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubisim:", err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Printf("%s / %s: %d clients, %.0f s, seed %d\n",
+func run(cfg vwchar.Config, csv bool, w io.Writer) error {
+	res, err := vwchar.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s / %s: %d clients, %.0f s, seed %d\n",
 		cfg.Environment, cfg.Mix, cfg.Clients, cfg.Duration.Sec(), cfg.Seed)
-	fmt.Printf("requests: %d completed, %d errors, write fraction %.1f%%\n",
+	fmt.Fprintf(w, "requests: %d completed, %d errors, write fraction %.1f%%\n",
 		res.Completed, res.Errors, res.WriteFraction*100)
-	fmt.Printf("response time: mean %.1f ms, p95 %.1f ms\n",
+	fmt.Fprintf(w, "response time: mean %.1f ms, p95 %.1f ms\n",
 		res.MeanRespTime*1e3, res.P95RespTime*1e3)
-	fmt.Printf("web worker-pool growths (RAM jumps): %d\n\n", res.WebGrowths)
+	fmt.Fprintf(w, "web worker-pool growths (RAM jumps): %d\n\n", res.WebGrowths)
 
 	tiers := []string{vwchar.TierWeb, vwchar.TierDB}
 	if cfg.Environment == vwchar.Virtualized {
@@ -50,32 +63,17 @@ func main() {
 	for _, tier := range tiers {
 		cpu, mem := res.CPU(tier), res.Mem(tier)
 		disk, net := res.Disk(tier), res.Net(tier)
-		fmt.Printf("%-8s cpu %.3g cyc/2s (max %.3g)  mem %.0f..%.0f MB  disk %.0f KB/2s  net %.0f KB/2s\n",
+		fmt.Fprintf(w, "%-8s cpu %.3g cyc/2s (max %.3g)  mem %.0f..%.0f MB  disk %.0f KB/2s  net %.0f KB/2s\n",
 			tier, cpu.Mean(), cpu.Max(), mem.Min(), mem.Max(), disk.Mean(), net.Mean())
 	}
-	fmt.Println()
-	if *csv {
-		series := make([]*vwchar.Series, 0, len(tiers))
+	fmt.Fprintln(w)
+	if csv {
 		for _, tier := range tiers {
-			series = append(series, res.CPU(tier))
+			if err := res.CPU(tier).WriteCSV(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
 		}
-		if err := writeCSV(series); err != nil {
-			fmt.Fprintln(os.Stderr, "rubisim:", err)
-			os.Exit(1)
-		}
-	}
-}
-
-func writeCSV(series []*vwchar.Series) error {
-	if len(series) == 0 {
-		return nil
-	}
-	// Reuse the figure CSV path by printing a simple table.
-	for _, s := range series {
-		if err := s.WriteCSV(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
 	}
 	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vwchar"
+	"vwchar/internal/sim"
+)
+
+// TestRunSmoke drives the binary's run path in-process at a tiny scale
+// and checks it exits clean with non-empty output.
+func TestRunSmoke(t *testing.T) {
+	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+	cfg.Clients = 20
+	cfg.Duration = 30 * sim.Second
+	var buf bytes.Buffer
+	if err := run(cfg, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"virtualized / browsing", "requests:", "response time:", "webapp", "mysql", "dom0", "time_s,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+	cfg.Clients = 0
+	if err := run(cfg, false, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}

@@ -1,12 +1,17 @@
 // Capacity planning: the use case the paper's introduction motivates.
-// Sweep the client population on the virtualized deployment and find the
-// largest population whose p95 response time still meets an SLA — the
-// "support applications with the right hardware" decision.
+// Sweep the client population on the virtualized deployment — every
+// population in parallel, each replicated with independent seeds — and
+// find the largest population whose p95 response time still meets an
+// SLA with its whole confidence interval: the "support applications
+// with the right hardware" decision, made against variance rather than
+// a single lucky run.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"vwchar"
 	"vwchar/internal/sim"
@@ -15,36 +20,74 @@ import (
 const slaP95Millis = 60.0
 
 func main() {
-	fmt.Printf("SLA: p95 response time <= %.0f ms (virtualized, browsing mix)\n\n", slaP95Millis)
-	fmt.Printf("%8s %12s %12s %14s %10s\n", "clients", "req/s", "p95 (ms)", "webCPU (c/2s)", "SLA")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	replications := flag.Int("replications", 3, "replications per population")
+	seed := flag.Uint64("seed", 42, "root seed")
+	flag.Parse()
 
-	lastOK := 0
-	for _, clients := range []int{200, 400, 800, 1200, 1600, 2000, 2400} {
+	populations := []int{200, 400, 800, 1200, 1600, 2000, 2400}
+	points := make([]vwchar.SweepPoint, 0, len(populations))
+	for _, clients := range populations {
 		cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
 		cfg.Clients = clients
 		cfg.Duration = 180 * sim.Second
-		res, err := vwchar.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
+		points = append(points, vwchar.SweepPoint{
+			Name:   fmt.Sprintf("clients-%04d", clients),
+			Config: cfg,
+		})
+	}
+	// A partial failure still yields aggregates over the surviving
+	// replications; print those before reporting the error.
+	sr, err := vwchar.Sweep(vwchar.SweepSpec{
+		Points:       points,
+		Replications: *replications,
+		RootSeed:     *seed,
+		Workers:      *workers,
+		OnProgress: func(p vwchar.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s rep %d\n", p.Done, p.Total, p.Job.Point, p.Job.Rep)
+		},
+	})
+	if sr == nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SLA: p95 response time <= %.0f ms (virtualized, browsing mix, %d replications)\n\n",
+		slaP95Millis, *replications)
+	fmt.Printf("%8s %12s %18s %14s %10s\n", "clients", "req/s", "p95 ms (±CI95)", "webCPU (c/2s)", "SLA")
+
+	lastOK := 0
+	for i := range sr.Points {
+		pr := &sr.Points[i]
+		p95 := pr.Metric(vwchar.MetricRespP95)
+		if p95.N == 0 {
+			// No surviving replications: an absent measurement must not
+			// read as 0 ms and pass the SLA.
+			fmt.Printf("%8d %12s %18s %14s %10s\n",
+				pr.Point.Config.Clients, "-", "-", "-", "NO DATA")
+			continue
 		}
-		p95 := res.P95RespTime * 1e3
-		ok := p95 <= slaP95Millis
+		// Meeting the SLA means the whole confidence interval is under
+		// the limit, not just the mean.
+		ok := p95.Mean+p95.CI95 <= slaP95Millis
 		if ok {
-			lastOK = clients
+			lastOK = pr.Point.Config.Clients
 		}
 		verdict := "meets"
 		if !ok {
 			verdict = "VIOLATES"
 		}
-		fmt.Printf("%8d %12.1f %12.2f %14.3g %10s\n",
-			clients,
-			float64(res.Completed)/cfg.Duration.Sec(),
-			p95,
-			res.CPU(vwchar.TierWeb).Mean(),
+		fmt.Printf("%8d %12.1f %10.2f ± %-5.2f %14.3g %10s\n",
+			pr.Point.Config.Clients,
+			pr.Metric(vwchar.MetricThroughput).Mean,
+			p95.Mean, p95.CI95,
+			pr.Metric(vwchar.MetricCPU(vwchar.TierWeb)).Mean,
 			verdict)
 	}
 
 	fmt.Printf("\nplanning result: one web VM + one DB VM on a single host sustains ~%d clients within SLA.\n", lastOK)
 	fmt.Println("Beyond the knee, the web tier's worker pool saturates and queueing inflates p95 —")
 	fmt.Println("exactly the capacity-planning signal the paper argues workload characterization enables.")
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,40 +1,77 @@
 // Consolidation: the paper's testbed "hosts up to ten VMs" per server,
 // and its motivation is resource planning for exactly this decision —
 // how many application instances can share one physical host. This
-// example co-locates 1..5 RUBiS instances (two VMs each) on the Xen host
-// and tabulates what consolidation does to dom0's physical demand and to
-// per-instance response times.
+// example co-locates 1..5 RUBiS instances (two VMs each) on the Xen
+// host, running all consolidation levels in parallel with replicated
+// seeds, and tabulates what consolidation does to dom0's physical
+// demand and to per-instance response times.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"vwchar"
 	"vwchar/internal/sim"
 )
 
 func main() {
-	fmt.Println("consolidating RUBiS instances on one 8-core host (300 clients each, browsing):")
-	fmt.Printf("%7s %6s %10s %14s %14s %12s\n",
-		"pairs", "VMs", "req/s", "dom0 cyc/2s", "p95 ms (1st)", "dom0 memMB")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	replications := flag.Int("replications", 3, "replications per consolidation level")
+	seed := flag.Uint64("seed", 42, "root seed")
+	flag.Parse()
+
+	var points []vwchar.SweepPoint
 	for pairs := 1; pairs <= 5; pairs++ {
 		cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
 		cfg.Clients = 300
 		cfg.Duration = 180 * sim.Second
 		cfg.Pairs = pairs
-		res, err := vwchar.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
+		points = append(points, vwchar.SweepPoint{
+			Name:   fmt.Sprintf("pairs-%d", pairs),
+			Config: cfg,
+		})
+	}
+	// A partial failure still yields aggregates over the surviving
+	// replications; print those before reporting the error.
+	sr, err := vwchar.Sweep(vwchar.SweepSpec{
+		Points:       points,
+		Replications: *replications,
+		RootSeed:     *seed,
+		Workers:      *workers,
+		OnProgress: func(p vwchar.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s rep %d\n", p.Done, p.Total, p.Job.Point, p.Job.Rep)
+		},
+	})
+	if sr == nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("consolidating RUBiS instances on one 8-core host (300 clients each, browsing, %d replications):\n",
+		*replications)
+	fmt.Printf("%7s %6s %10s %14s %18s %12s\n",
+		"pairs", "VMs", "req/s", "dom0 cyc/2s", "p95 ms (±CI95)", "dom0 memMB")
+	for i := range sr.Points {
+		pr := &sr.Points[i]
+		pairs := pr.Point.Config.Pairs
+		p95 := pr.Metric(vwchar.MetricRespP95)
+		if p95.N == 0 {
+			fmt.Printf("%7d %6d   (no surviving replications)\n", pairs, pairs*2)
+			continue
 		}
-		fmt.Printf("%7d %6d %10.1f %14.3g %14.2f %12.0f\n",
+		fmt.Printf("%7d %6d %10.1f %14.3g %10.2f ± %-5.2f %12.0f\n",
 			pairs, pairs*2,
-			float64(res.Completed)/cfg.Duration.Sec(),
-			res.CPU(vwchar.TierDom0).Mean(),
-			res.PairStats[0].P95RespTime*1e3,
-			res.Mem(vwchar.TierDom0).Mean())
+			pr.Metric(vwchar.MetricThroughput).Mean,
+			pr.Metric(vwchar.MetricCPU(vwchar.TierDom0)).Mean,
+			p95.Mean, p95.CI95,
+			pr.Metric(vwchar.MetricMem(vwchar.TierDom0)).Mean)
 	}
 	fmt.Println("\ndom0's backend work scales with the aggregate I/O of all guests — the")
 	fmt.Println("virtualization overhead the paper measures is per-host, not per-VM, which is")
 	fmt.Println("what makes its characterization the input to consolidation planning.")
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,50 +1,72 @@
 // Mix sweep: the paper tested five request compositions (browse-only,
 // bid-only, 30/70, 50/50, 70/30) but had space to report only two. This
-// example runs all five and tabulates the per-tier demand, showing how
-// the composition dial moves each resource — including the paper's
-// observation that bidding costs the *hypervisor* more while costing the
-// VMs less.
+// example runs all five through the parallel sweep runner, replicating
+// each composition with independent seeds, and tabulates the per-tier
+// demand as mean ± 95% CI — showing how the composition dial moves each
+// resource, including the paper's observation that bidding costs the
+// *hypervisor* more while costing the VMs less.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"vwchar"
 	"vwchar/internal/sim"
 )
 
 func main() {
-	mixes := []vwchar.MixKind{
-		vwchar.MixBrowsing,
-		vwchar.Mix70Browse,
-		vwchar.Mix50Browse,
-		vwchar.Mix30Browse,
-		vwchar.MixBidding,
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	replications := flag.Int("replications", 3, "replications per mix")
+	seed := flag.Uint64("seed", 42, "root seed")
+	flag.Parse()
+
+	// A partial failure still yields aggregates over the surviving
+	// replications; print those before reporting the error.
+	sr, err := vwchar.Sweep(vwchar.SweepSpec{
+		Points: vwchar.SweepGrid([]vwchar.Env{vwchar.Virtualized}, vwchar.Mixes(),
+			func(c *vwchar.Config) {
+				c.Clients = 500
+				c.Duration = 240 * sim.Second
+			}),
+		Replications: *replications,
+		RootSeed:     *seed,
+		Workers:      *workers,
+		OnProgress: func(p vwchar.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s rep %d\n", p.Done, p.Total, p.Job.Point, p.Job.Rep)
+		},
+	})
+	if sr == nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("%-10s %9s %8s %12s %12s %12s %10s %10s\n",
-		"mix", "req/s", "writes", "webCPU", "dbCPU", "dom0CPU", "webNetKB", "dbDiskKB")
-	for _, mix := range mixes {
-		cfg := vwchar.DefaultConfig(vwchar.Virtualized, mix)
-		cfg.Clients = 500
-		cfg.Duration = 240 * sim.Second
-		res, err := vwchar.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
+
+	fmt.Printf("%-10s %16s %8s %12s %12s %12s %10s %10s\n",
+		"mix", "req/s (±CI95)", "writes", "webCPU", "dbCPU", "dom0CPU", "webNetKB", "dbDiskKB")
+	for i := range sr.Points {
+		pr := &sr.Points[i]
+		rps := pr.Metric(vwchar.MetricThroughput)
+		if rps.N == 0 {
+			fmt.Printf("%-10s   (no surviving replications)\n", pr.Point.Config.Mix)
+			continue
 		}
-		fmt.Printf("%-10s %9.1f %7.1f%% %12.3g %12.3g %12.3g %10.0f %10.0f\n",
-			mix,
-			float64(res.Completed)/cfg.Duration.Sec(),
-			res.WriteFraction*100,
-			res.CPU(vwchar.TierWeb).Mean(),
-			res.CPU(vwchar.TierDB).Mean(),
-			res.CPU(vwchar.TierDom0).Mean(),
-			res.Net(vwchar.TierWeb).Mean(),
-			res.Disk(vwchar.TierDB).Mean(),
+		fmt.Printf("%-10s %9.1f ± %-4.1f %7.1f%% %12.3g %12.3g %12.3g %10.0f %10.0f\n",
+			pr.Point.Config.Mix,
+			rps.Mean, rps.CI95,
+			pr.Metric(vwchar.MetricWriteFrac).Mean*100,
+			pr.Metric(vwchar.MetricCPU(vwchar.TierWeb)).Mean,
+			pr.Metric(vwchar.MetricCPU(vwchar.TierDB)).Mean,
+			pr.Metric(vwchar.MetricCPU(vwchar.TierDom0)).Mean,
+			pr.Metric(vwchar.MetricNet(vwchar.TierWeb)).Mean,
+			pr.Metric(vwchar.MetricDisk(vwchar.TierDB)).Mean,
 		)
 	}
 	fmt.Println("\nReading the table: as the bid share rises, VM-visible CPU and network fall")
 	fmt.Println("(fewer, smaller pages at a longer think time) while DB disk rises (writes,")
 	fmt.Println("journal flushes) — the bid-heavy compositions land more physical work on dom0")
 	fmt.Println("per unit of VM-visible demand, the paper's §4.1 observation.")
+	if err != nil {
+		log.Fatal(err)
+	}
 }

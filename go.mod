@@ -1,0 +1,3 @@
+module vwchar
+
+go 1.24

@@ -157,18 +157,12 @@ func (r *Result) Net(tier string) *timeseries.Series { return r.Collector.Net(ti
 
 // Run executes the configured experiment to completion.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Clients <= 0 || cfg.Duration <= 0 {
-		return nil, fmt.Errorf("experiment: need positive clients and duration")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	pairs := cfg.Pairs
 	if pairs < 1 {
 		pairs = 1
-	}
-	if pairs > 5 {
-		return nil, fmt.Errorf("experiment: %d pairs exceed the testbed's ten-VM limit", pairs)
-	}
-	if pairs > 1 && cfg.Environment != Virtualized {
-		return nil, fmt.Errorf("experiment: consolidation requires the virtualized deployment")
 	}
 	k := sim.NewKernel()
 	src := rng.NewSource(cfg.Seed)

@@ -49,8 +49,16 @@ func NewSource(seed uint64) *Source { return &Source{seed: seed} }
 // twice with the same name yields independent generators with identical
 // state, so callers should create each stream once and keep it.
 func (s *Source) Stream(name string) *Stream {
-	sub := splitmix64(s.seed ^ splitmix64(hashName(name)))
-	return &Stream{r: rand.New(rand.NewSource(int64(sub)))}
+	return &Stream{r: rand.New(rand.NewSource(int64(s.SeedFor(name))))}
+}
+
+// SeedFor derives the well-mixed 64-bit root seed for the named
+// substream without constructing it. Experiment sweeps use this to give
+// every (point, replication) pair an independent deterministic seed that
+// depends only on the root seed and the stable name — never on
+// scheduling order or worker count.
+func (s *Source) SeedFor(name string) uint64 {
+	return splitmix64(s.seed ^ splitmix64(hashName(name)))
 }
 
 // Stream is a deterministic random stream with distribution helpers.

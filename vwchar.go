@@ -25,6 +25,7 @@ import (
 	"vwchar/internal/model"
 	"vwchar/internal/plot"
 	"vwchar/internal/rubis"
+	"vwchar/internal/runner"
 	"vwchar/internal/sim"
 	"vwchar/internal/sysstat"
 	"vwchar/internal/timeseries"
@@ -127,6 +128,74 @@ func RunPairScaled(env Env, seed uint64, clients int, durationSec float64) (*Pai
 	}
 	return &Pair{Browse: browse, Bid: bid}, nil
 }
+
+// Parallel experiment sweeps: the unit of scale. A sweep fans a grid of
+// points (env × mix × anything Config can express) times N replications
+// out over a bounded worker pool, one isolated sim kernel per
+// replication, and aggregates every metric across replications with
+// mean, standard deviation, and 95% confidence intervals. Output is
+// byte-identical regardless of worker count.
+type (
+	// SweepSpec describes a sweep: points × replications over a pool.
+	SweepSpec = runner.SweepSpec
+	// SweepPoint is one named sweep coordinate.
+	SweepPoint = runner.Point
+	// SweepResult is a completed sweep with per-point aggregates.
+	SweepResult = runner.SweepResult
+	// SweepPointResult is one aggregated sweep coordinate.
+	SweepPointResult = runner.PointResult
+	// SweepMetric is one scalar aggregated across replications.
+	SweepMetric = runner.Metric
+	// SweepProgress reports one completed replication.
+	SweepProgress = runner.Progress
+)
+
+// Aggregated metric names every run reports (per-tier resource means
+// are named cpu_<tier>, mem_<tier>_mb, disk_<tier>_kb, net_<tier>_kb).
+const (
+	MetricThroughput = runner.MetricThroughput
+	MetricWriteFrac  = runner.MetricWriteFrac
+	MetricRespMean   = runner.MetricRespMean
+	MetricRespP95    = runner.MetricRespP95
+	MetricErrors     = runner.MetricErrors
+)
+
+// MetricCPU, MetricMem, MetricDisk and MetricNet name the per-tier
+// aggregates for SweepPointResult.Metric lookups.
+func MetricCPU(tier string) string { return runner.MetricCPU(tier) }
+
+// MetricMem names a tier's mean used-memory aggregate (MB).
+func MetricMem(tier string) string { return runner.MetricMem(tier) }
+
+// MetricDisk names a tier's mean disk-traffic aggregate (KB/2s).
+func MetricDisk(tier string) string { return runner.MetricDisk(tier) }
+
+// MetricNet names a tier's mean network-traffic aggregate (KB/2s).
+func MetricNet(tier string) string { return runner.MetricNet(tier) }
+
+// Sweep runs the spec's full grid in parallel and aggregates it.
+func Sweep(spec SweepSpec) (*SweepResult, error) { return runner.Run(spec) }
+
+// SweepGrid builds the env × mix point grid from the paper's defaults,
+// with mutate (optional) adjusting each config before it becomes a point.
+func SweepGrid(envs []Env, mixes []MixKind, mutate func(*Config)) []SweepPoint {
+	return runner.Grid(envs, mixes, mutate)
+}
+
+// FullSweepGrid is the paper's complete 2-env × 5-mix grid.
+func FullSweepGrid(mutate func(*Config)) []SweepPoint { return runner.FullGrid(mutate) }
+
+// Envs lists the supported deployments; Mixes the five compositions.
+func Envs() []Env { return experiment.Envs() }
+
+// Mixes lists the five request compositions in browse-share order.
+func Mixes() []MixKind { return experiment.Mixes() }
+
+// ParseEnv converts a flag string into an Env.
+func ParseEnv(s string) (Env, error) { return experiment.ParseEnv(s) }
+
+// ParseMix converts a flag string into a MixKind.
+func ParseMix(s string) (MixKind, error) { return experiment.ParseMix(s) }
 
 // BuildFigure assembles the paper's figure id (1-8) from a run pair of
 // the matching environment.
