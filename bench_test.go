@@ -317,11 +317,17 @@ func BenchmarkWorkloadModel(b *testing.B) {
 // BenchmarkEngineOnly measures the storage engine in isolation (queries
 // per second without the simulation harness): the DB-tier ablation.
 func BenchmarkEngineOnly(b *testing.B) {
+	// Warm-up run: pays one-time process costs outside the timed loop
+	// and sanity-checks that the scaled configuration actually serves
+	// traffic before it is benchmarked.
 	pair, err := vwchar.RunPairScaled(vwchar.Virtualized, 1, 10, 10)
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = pair
+	if pair.Browse.Completed == 0 || pair.Bid.Completed == 0 {
+		b.Fatalf("warm-up pair served no requests (browse=%d bid=%d)",
+			pair.Browse.Completed, pair.Bid.Completed)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// A fresh scaled run exercises dataset population (~60k engine

@@ -76,6 +76,95 @@ func BenchmarkBTreeSearchColdPool(b *testing.B) {
 	}
 }
 
+// BenchmarkBTreeInsert is the duplicate-heavy pattern secondary indexes
+// see at runtime: a bounded key space with a unique value per entry.
+func BenchmarkBTreeInsert(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 4096, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(int64(r.Intn(5000)), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeScanRange(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 4096, &Meter{})
+	tree, err := NewBTree(pool, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(int64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64((i * 997) % (n - 100))
+		count := 0
+		err := tree.ScanRange(lo, lo+99, func(int64, uint64) bool {
+			count++
+			return true
+		})
+		if err != nil || count != 100 {
+			b.Fatalf("scan = %d, %v", count, err)
+		}
+	}
+}
+
+// BenchmarkBufferPoolGet times the resident hit path: one map lookup,
+// a pin, and an intrusive LRU move — no allocation.
+func BenchmarkBufferPoolGet(b *testing.B) {
+	pool := NewBufferPool(NewMemStore(), 128, &Meter{})
+	ids := make([]PageID, 64)
+	for i := range ids {
+		f, err := pool.NewPage(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = f.ID()
+		f.Unpin(false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := pool.Get(ids[i%len(ids)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Unpin(false)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	const n = 100000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Value: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := NewBufferPool(NewMemStore(), 4096, &Meter{})
+		tree, err := NewBTree(pool, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tree.BulkLoad(entries); err != nil {
+			b.Fatal(err)
+		}
+		if tree.Len() != n {
+			b.Fatal("short load")
+		}
+	}
+}
+
 func BenchmarkHeapInsert(b *testing.B) {
 	pool := NewBufferPool(NewMemStore(), 1024, &Meter{})
 	h := NewHeap(pool, 1)

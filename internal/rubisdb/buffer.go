@@ -1,9 +1,6 @@
 package rubisdb
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // PageID identifies a page within the engine: a file (table heap, index,
 // ...) and a page number within it.
@@ -16,8 +13,9 @@ type PageID struct {
 // store; the buffer pool's miss/flush traffic is what the tier model
 // charges to the simulated disk.
 type Store interface {
-	// Read fetches the page; it returns an error for never-written pages.
-	Read(id PageID) (Page, error)
+	// ReadInto copies the page into dst (len PageSize) without
+	// allocating; it returns an error for never-written pages.
+	ReadInto(id PageID, dst Page) error
 	// Write persists the page.
 	Write(id PageID, p Page) error
 	// Allocate extends file with one zeroed page, returning its id.
@@ -35,22 +33,36 @@ func NewMemStore() *MemStore {
 	return &MemStore{pages: make(map[PageID]Page), next: make(map[uint32]uint32)}
 }
 
-// Read implements Store.
-func (m *MemStore) Read(id PageID) (Page, error) {
+// ReadInto implements Store.
+func (m *MemStore) ReadInto(id PageID, dst Page) error {
 	p, ok := m.pages[id]
 	if !ok {
-		return nil, fmt.Errorf("rubisdb: page %v not found", id)
+		return fmt.Errorf("rubisdb: page %v not found", id)
 	}
+	copy(dst, p)
+	return nil
+}
+
+// Read returns an owned copy of the page (a convenience for tests and
+// tools; the pool's hot path uses ReadInto).
+func (m *MemStore) Read(id PageID) (Page, error) {
 	out := make(Page, PageSize)
-	copy(out, p)
+	if err := m.ReadInto(id, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// Write implements Store.
+// Write implements Store. The destination buffer is reused across
+// write-backs of the same page, so steady-state eviction traffic does
+// not allocate.
 func (m *MemStore) Write(id PageID, p Page) error {
-	cp := make(Page, PageSize)
-	copy(cp, p)
-	m.pages[id] = cp
+	dst, ok := m.pages[id]
+	if !ok {
+		dst = make(Page, PageSize)
+		m.pages[id] = dst
+	}
+	copy(dst, p)
 	return nil
 }
 
@@ -58,7 +70,7 @@ func (m *MemStore) Write(id PageID, p Page) error {
 func (m *MemStore) Allocate(file uint32) PageID {
 	id := PageID{File: file, PageNo: m.next[file]}
 	m.next[file]++
-	m.pages[id] = NewPage()
+	m.pages[id] = make(Page, PageSize)
 	return id
 }
 
@@ -106,22 +118,51 @@ func (m Meter) Sub(other Meter) Meter {
 	}
 }
 
-type frame struct {
+// Frame is a pinned buffer-pool slot. Get and NewPage return the frame
+// itself, so callers release their pin directly on it — no second map
+// lookup. The frame (and its Page) is valid until Unpin; after the last
+// pin is released the pool may evict and recycle it, so callers must
+// capture ID() before unpinning if they still need it.
+type Frame struct {
+	// Page is the cached page image.
+	Page Page
+
 	id    PageID
-	page  Page
 	dirty bool
 	pins  int
-	elem  *list.Element
+	// prev/next form the pool's intrusive LRU list while the frame is
+	// resident (no container/list allocation or interface boxing per
+	// touch); next doubles as the free-list link after eviction.
+	prev, next *Frame
+}
+
+// ID reports which page the frame holds.
+func (f *Frame) ID() PageID { return f.id }
+
+// Unpin releases one pin, optionally marking the page dirty.
+func (f *Frame) Unpin(dirty bool) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("rubisdb: Unpin of unpinned page %v", f.id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
 }
 
 // BufferPool caches pages with LRU replacement and write-back of dirty
-// pages on eviction.
+// pages on eviction. Evicted frames and their page buffers park on free
+// lists, so steady-state miss traffic allocates nothing.
 type BufferPool struct {
 	store    Store
 	capacity int
-	frames   map[PageID]*frame
-	lru      *list.List // front = most recently used
-	meter    *Meter
+	frames   map[PageID]*Frame
+	// lru is the intrusive list sentinel: lru.next is the most recently
+	// used resident frame, lru.prev the eviction candidate.
+	lru       Frame
+	meter     *Meter
+	freeFrame *Frame // singly linked through next
+	freePage  []Page
 }
 
 // NewBufferPool builds a pool of capacity pages over store, metering
@@ -130,58 +171,109 @@ func NewBufferPool(store Store, capacity int, meter *Meter) *BufferPool {
 	if capacity < 1 {
 		panic("rubisdb: buffer pool needs capacity >= 1")
 	}
-	return &BufferPool{
+	b := &BufferPool{
 		store:    store,
 		capacity: capacity,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
+		frames:   make(map[PageID]*Frame, capacity),
 		meter:    meter,
 	}
+	b.lru.next = &b.lru
+	b.lru.prev = &b.lru
+	return b
 }
 
 // Len reports resident pages.
 func (b *BufferPool) Len() int { return len(b.frames) }
 
+func (b *BufferPool) pushFront(f *Frame) {
+	f.prev = &b.lru
+	f.next = b.lru.next
+	f.prev.next = f
+	f.next.prev = f
+}
+
+func (b *BufferPool) unlink(f *Frame) {
+	f.prev.next = f.next
+	f.next.prev = f.prev
+	f.prev, f.next = nil, nil
+}
+
+func (b *BufferPool) moveToFront(f *Frame) {
+	if b.lru.next == f {
+		return
+	}
+	f.prev.next = f.next
+	f.next.prev = f.prev
+	b.pushFront(f)
+}
+
+func (b *BufferPool) takeFrame() *Frame {
+	if f := b.freeFrame; f != nil {
+		b.freeFrame = f.next
+		f.next = nil
+		return f
+	}
+	return &Frame{}
+}
+
+func (b *BufferPool) takePage() Page {
+	if n := len(b.freePage); n > 0 {
+		p := b.freePage[n-1]
+		b.freePage = b.freePage[:n-1]
+		return p
+	}
+	return make(Page, PageSize)
+}
+
 // Get pins the page into the pool, loading it on a miss (possibly
-// evicting an unpinned LRU victim). Callers must Unpin.
-func (b *BufferPool) Get(id PageID) (Page, error) {
+// evicting an unpinned LRU victim). Callers must Unpin the returned
+// frame.
+func (b *BufferPool) Get(id PageID) (*Frame, error) {
 	if f, ok := b.frames[id]; ok {
 		b.meter.PageHits++
 		f.pins++
-		b.lru.MoveToFront(f.elem)
-		return f.page, nil
+		b.moveToFront(f)
+		return f, nil
 	}
 	b.meter.PageMisses++
-	p, err := b.store.Read(id)
-	if err != nil {
+	p := b.takePage()
+	if err := b.store.ReadInto(id, p); err != nil {
+		b.freePage = append(b.freePage, p)
 		return nil, err
 	}
 	if err := b.makeRoom(); err != nil {
+		b.freePage = append(b.freePage, p)
 		return nil, err
 	}
-	f := &frame{id: id, page: p, pins: 1}
-	f.elem = b.lru.PushFront(f)
+	f := b.takeFrame()
+	*f = Frame{Page: p, id: id, pins: 1}
+	b.pushFront(f)
 	b.frames[id] = f
-	return p, nil
+	return f, nil
 }
 
-// NewPage allocates a fresh page in file, resident and pinned.
-func (b *BufferPool) NewPage(file uint32) (PageID, Page, error) {
+// NewPage allocates a fresh page in file, resident, pinned, and dirty.
+// The page comes back zeroed with an initialized slot header (see
+// NewPage in page.go).
+func (b *BufferPool) NewPage(file uint32) (*Frame, error) {
 	id := b.store.Allocate(file)
 	if err := b.makeRoom(); err != nil {
-		return PageID{}, nil, err
+		return nil, err
 	}
-	f := &frame{id: id, page: NewPage(), pins: 1, dirty: true}
-	f.elem = b.lru.PushFront(f)
+	p := b.takePage()
+	clear(p)
+	p.initHeader()
+	f := b.takeFrame()
+	*f = Frame{Page: p, id: id, pins: 1, dirty: true}
+	b.pushFront(f)
 	b.frames[id] = f
-	return id, f.page, nil
+	return f, nil
 }
 
 func (b *BufferPool) makeRoom() error {
 	for len(b.frames) >= b.capacity {
-		victim := (*frame)(nil)
-		for e := b.lru.Back(); e != nil; e = e.Prev() {
-			f := e.Value.(*frame)
+		var victim *Frame
+		for f := b.lru.prev; f != &b.lru; f = f.prev {
 			if f.pins == 0 {
 				victim = f
 				break
@@ -191,30 +283,18 @@ func (b *BufferPool) makeRoom() error {
 			return fmt.Errorf("rubisdb: buffer pool exhausted (%d pages, all pinned)", len(b.frames))
 		}
 		if victim.dirty {
-			if err := b.store.Write(victim.id, victim.page); err != nil {
+			if err := b.store.Write(victim.id, victim.Page); err != nil {
 				return err
 			}
 			b.meter.PagesWritten++
 		}
-		b.lru.Remove(victim.elem)
+		b.unlink(victim)
 		delete(b.frames, victim.id)
+		b.freePage = append(b.freePage, victim.Page)
+		*victim = Frame{next: b.freeFrame}
+		b.freeFrame = victim
 	}
 	return nil
-}
-
-// Unpin releases a pin, optionally marking the page dirty.
-func (b *BufferPool) Unpin(id PageID, dirty bool) {
-	f, ok := b.frames[id]
-	if !ok {
-		panic(fmt.Sprintf("rubisdb: Unpin of non-resident page %v", id))
-	}
-	if f.pins <= 0 {
-		panic(fmt.Sprintf("rubisdb: Unpin of unpinned page %v", id))
-	}
-	f.pins--
-	if dirty {
-		f.dirty = true
-	}
 }
 
 // FlushAll writes every dirty resident page back to the store (checkpoint).
@@ -228,12 +308,11 @@ func (b *BufferPool) FlushAll() error {
 // does) and reports how many were flushed.
 func (b *BufferPool) FlushLimit(limit int) (int, error) {
 	flushed := 0
-	for e := b.lru.Back(); e != nil && flushed < limit; e = e.Prev() {
-		f := e.Value.(*frame)
+	for f := b.lru.prev; f != &b.lru && flushed < limit; f = f.prev {
 		if !f.dirty {
 			continue
 		}
-		if err := b.store.Write(f.id, f.page); err != nil {
+		if err := b.store.Write(f.id, f.Page); err != nil {
 			return flushed, err
 		}
 		f.dirty = false

@@ -1,0 +1,340 @@
+package rubisdb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collectAll(t *testing.T, tree *BTree) []Entry {
+	t.Helper()
+	var got []Entry
+	if err := tree.ScanRange(-1<<62, 1<<62, func(k int64, v uint64) bool {
+		got = append(got, Entry{Key: k, Value: v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestBulkLoadMatchesInsertPath(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 5000
+	entries := make([]Entry, n)
+	for i := range entries {
+		// Small key space: long duplicate runs, like a secondary index.
+		entries[i] = Entry{Key: int64(r.Intn(40)) - 20, Value: uint64(i)}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key < entries[j].Key
+		}
+		return entries[i].Value < entries[j].Value
+	})
+
+	bulk := newTestTree(t, 256)
+	if err := bulk.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	incr := newTestTree(t, 256)
+	for _, e := range entries {
+		if err := incr.Insert(e.Key, e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != n || incr.Len() != n {
+		t.Fatalf("Len: bulk=%d incr=%d", bulk.Len(), incr.Len())
+	}
+	got, want := collectAll(t, bulk), collectAll(t, incr)
+	if len(got) != len(want) {
+		t.Fatalf("scan lengths: bulk=%d incr=%d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: bulk=%v incr=%v", i, got[i], want[i])
+		}
+	}
+	// Point lookups agree too.
+	for k := int64(-20); k < 20; k++ {
+		a, err := bulk.Search(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := incr.Search(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("Search(%d): bulk=%d incr=%d values", k, len(a), len(b))
+		}
+	}
+}
+
+func TestBulkLoadBuildsMultipleLevels(t *testing.T) {
+	const n = 200000 // > leafBulkFill*(innerMax+1) leaves => height 3
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Value: uint64(i)}
+	}
+	tree := newTestTree(t, 4096)
+	if err := tree.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	h, err := tree.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 3 {
+		t.Fatalf("height = %d, want >= 3", h)
+	}
+	for i := 0; i < n; i += 997 {
+		vals, err := tree.Search(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != uint64(i) {
+			t.Fatalf("Search(%d) = %v", i, vals)
+		}
+	}
+	// The loaded tree accepts ordinary inserts and deletes afterwards.
+	if err := tree.Insert(int64(n)+5, 1); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tree.Delete(int64(n)+5, 1)
+	if err != nil || !ok {
+		t.Fatalf("Delete after load = %v, %v", ok, err)
+	}
+}
+
+func TestBulkLoadRejectsBadInput(t *testing.T) {
+	tree := newTestTree(t, 64)
+	if err := tree.BulkLoad([]Entry{{2, 0}, {1, 0}}); err == nil {
+		t.Fatal("unsorted entries should error")
+	}
+	if err := tree.BulkLoad([]Entry{{1, 7}, {1, 7}}); err == nil {
+		t.Fatal("exact duplicates should error")
+	}
+	if err := tree.BulkLoad(nil); err != nil {
+		t.Fatalf("empty load should be a no-op: %v", err)
+	}
+	if err := tree.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad([]Entry{{2, 0}}); err == nil {
+		t.Fatal("bulk load into a non-empty tree should error")
+	}
+}
+
+func TestBulkLoadFailureLeavesConsistentEmptyTree(t *testing.T) {
+	// A capacity-1 pool cannot hold the previous leaf pinned while the
+	// next is allocated, so a multi-leaf load fails mid-build. The tree
+	// must come back as a consistent empty tree, not a half-loaded one.
+	tree := newTestTree(t, 1)
+	entries := make([]Entry, 1000)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Value: uint64(i)}
+	}
+	if err := tree.BulkLoad(entries); err == nil {
+		t.Fatal("multi-leaf BulkLoad on a capacity-1 pool should fail")
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len after failed load = %d", tree.Len())
+	}
+	if got := collectAll(t, tree); len(got) != 0 {
+		t.Fatalf("failed load left %d reachable entries", len(got))
+	}
+	// Ordinary single-leaf operation still works afterwards.
+	for i := int64(0); i < 100; i++ {
+		if err := tree.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := tree.Search(42)
+	if err != nil || len(vals) != 1 || vals[0] != 42 {
+		t.Fatalf("Search after recovery = %v, %v", vals, err)
+	}
+}
+
+// Regression: a duplicate-key run spanning a leaf split must stay fully
+// reachable. With key-only separators (the pre-composite encoding) the
+// descent lands right of the split point and Search drops the left
+// leaf's duplicates.
+func TestBTreeDuplicateRunSpansLeafSplits(t *testing.T) {
+	tree := newTestTree(t, 256)
+	const dups = 2000 // ~4 leaves of the same key
+	r := rand.New(rand.NewSource(3))
+	if err := tree.Insert(6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(8, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Perm(dups) {
+		if err := tree.Insert(7, uint64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := tree.Search(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != dups {
+		t.Fatalf("Search(7) = %d values, want %d", len(vals), dups)
+	}
+	for i, v := range vals {
+		if v != uint64(i) {
+			t.Fatalf("values out of order at %d: %d", i, v)
+		}
+	}
+}
+
+// Property: under a random interleaving of inserts and deletes at a
+// scale that forces leaf and inner splits (with heavy duplication), the
+// tree matches a reference map + sort oracle.
+func TestBTreeInsertDeleteMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tree := newTestTree(t, 512)
+	type pair struct {
+		k int64
+		v uint64
+	}
+	live := map[pair]bool{}
+	var liveList []pair // insertion order, for picking delete victims
+	const ops = 12000
+	for i := 0; i < ops; i++ {
+		if len(liveList) > 0 && r.Intn(10) < 3 {
+			// Delete a random live entry.
+			j := r.Intn(len(liveList))
+			p := liveList[j]
+			liveList[j] = liveList[len(liveList)-1]
+			liveList = liveList[:len(liveList)-1]
+			delete(live, p)
+			ok, err := tree.Delete(p.k, p.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("Delete(%d,%d) reported absent", p.k, p.v)
+			}
+			continue
+		}
+		p := pair{k: int64(r.Intn(48)) - 24, v: uint64(i)}
+		if err := tree.Insert(p.k, p.v); err != nil {
+			t.Fatal(err)
+		}
+		live[p] = true
+		liveList = append(liveList, p)
+	}
+	// Deleting an absent entry is a clean no-op.
+	if ok, err := tree.Delete(1000, 1); err != nil || ok {
+		t.Fatalf("Delete(absent) = %v, %v", ok, err)
+	}
+	if tree.Len() != len(live) {
+		t.Fatalf("Len = %d, oracle has %d", tree.Len(), len(live))
+	}
+	want := make([]pair, 0, len(live))
+	for p := range live {
+		want = append(want, p)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].k != want[j].k {
+			return want[i].k < want[j].k
+		}
+		return want[i].v < want[j].v
+	})
+	var got []pair
+	if err := tree.ScanRange(-100, 100, func(k int64, v uint64) bool {
+		got = append(got, pair{k, v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %d entries, oracle = %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: tree=%v oracle=%v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableBulkInsertMatchesInsert(t *testing.T) {
+	mkRows := func(n int) []Row {
+		r := rand.New(rand.NewSource(5))
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{int64(i), "user", int64(r.Intn(7)), int64(0)}
+		}
+		return rows
+	}
+	const n = 2000
+
+	bulkEng := NewEngine(512, DefaultCostModel())
+	bulk, err := bulkEng.CreateTable("users", usersSchema(), "id", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.BulkInsert(mkRows(n)); err != nil {
+		t.Fatal(err)
+	}
+	incrEng := NewEngine(512, DefaultCostModel())
+	incr, err := incrEng.CreateTable("users", usersSchema(), "id", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range mkRows(n) {
+		if _, err := incr.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Rows() != n || incr.Rows() != n {
+		t.Fatalf("rows: bulk=%d incr=%d", bulk.Rows(), incr.Rows())
+	}
+	for _, tbl := range []*Table{bulk, incr} {
+		row, err := tbl.GetByPK(123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil || row[0] != int64(123) {
+			t.Fatalf("GetByPK: %v", row)
+		}
+	}
+	for reg := int64(0); reg < 7; reg++ {
+		a, err := bulk.LookupBy("region", reg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := incr.LookupBy("region", reg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("region %d: bulk=%d incr=%d rows", reg, len(a), len(b))
+		}
+	}
+	// Same logical write work is metered (hits/misses differ by design).
+	if bulkEng.Meter().RowsWritten != incrEng.Meter().RowsWritten {
+		t.Fatalf("RowsWritten: bulk=%d incr=%d", bulkEng.Meter().RowsWritten, incrEng.Meter().RowsWritten)
+	}
+	if bulkEng.Meter().WALBytes != incrEng.Meter().WALBytes {
+		t.Fatalf("WALBytes: bulk=%v incr=%v", bulkEng.Meter().WALBytes, incrEng.Meter().WALBytes)
+	}
+	// After bulk load the table behaves normally for writes.
+	if _, err := bulk.Insert(Row{int64(n + 1), "late", int64(1), int64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.BulkInsert(mkRows(1)); err == nil {
+		t.Fatal("BulkInsert into populated table should error")
+	}
+	unsorted := []Row{{int64(5), "a", int64(0), int64(0)}, {int64(4), "b", int64(0), int64(0)}}
+	empty := NewEngine(64, DefaultCostModel())
+	et, err := empty.CreateTable("users", usersSchema(), "id", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := et.BulkInsert(unsorted); err == nil {
+		t.Fatal("unsorted BulkInsert should error")
+	}
+}

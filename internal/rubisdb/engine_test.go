@@ -66,16 +66,17 @@ func TestBufferPoolHitMissEvict(t *testing.T) {
 	meter := &Meter{}
 	store := NewMemStore()
 	pool := NewBufferPool(store, 2, meter)
-	id1, p1, err := pool.NewPage(1)
+	f1, err := pool.NewPage(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1[100] = 42
-	pool.Unpin(id1, true)
-	id2, _, _ := pool.NewPage(1)
-	pool.Unpin(id2, true)
-	id3, _, _ := pool.NewPage(1) // evicts id1 (LRU), which is dirty
-	pool.Unpin(id3, true)
+	id1 := f1.ID()
+	f1.Page[100] = 42
+	f1.Unpin(true)
+	f2, _ := pool.NewPage(1)
+	f2.Unpin(true)
+	f3, _ := pool.NewPage(1) // evicts id1 (LRU), which is dirty
+	f3.Unpin(true)
 	if pool.Len() != 2 {
 		t.Fatalf("pool len = %d", pool.Len())
 	}
@@ -83,19 +84,19 @@ func TestBufferPoolHitMissEvict(t *testing.T) {
 		t.Fatal("dirty eviction should write back")
 	}
 	// Re-reading id1 is a miss but must see the dirty byte.
-	p, err := pool.Get(id1)
+	f, err := pool.Get(id1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p[100] != 42 {
+	if f.Page[100] != 42 {
 		t.Fatal("dirty data lost on eviction")
 	}
-	pool.Unpin(id1, false)
+	f.Unpin(false)
 	if meter.PageMisses == 0 || meter.PageHits != 0 {
 		t.Fatalf("meter: %+v", meter)
 	}
-	p, _ = pool.Get(id1) // now a hit
-	pool.Unpin(id1, false)
+	f, _ = pool.Get(id1) // now a hit
+	f.Unpin(false)
 	if meter.PageHits != 1 {
 		t.Fatalf("hits = %d", meter.PageHits)
 	}
@@ -103,27 +104,111 @@ func TestBufferPoolHitMissEvict(t *testing.T) {
 
 func TestBufferPoolAllPinnedFails(t *testing.T) {
 	pool := NewBufferPool(NewMemStore(), 1, &Meter{})
-	id, _, err := pool.NewPage(1)
+	f, err := pool.NewPage(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := pool.NewPage(1); err == nil {
+	if _, err := pool.NewPage(1); err == nil {
 		t.Fatal("exhausted pool should error")
 	}
-	pool.Unpin(id, false)
-	if _, _, err := pool.NewPage(1); err != nil {
+	f.Unpin(false)
+	f2, err := pool.NewPage(1)
+	if err != nil {
 		t.Fatalf("after unpin: %v", err)
 	}
+	f2.Unpin(false)
+}
+
+func TestBufferPoolGetAllPinnedFails(t *testing.T) {
+	// Exhaustion through the Get path: the only frame is pinned, so a
+	// miss that needs to evict must fail rather than steal it.
+	pool := NewBufferPool(NewMemStore(), 1, &Meter{})
+	f1, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := f1.ID()
+	f1.Unpin(true)
+	f2, err := pool.NewPage(1) // evicts and writes back page 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(id1); err == nil {
+		t.Fatal("Get with all frames pinned should error")
+	}
+	f2.Unpin(false)
+	f, err := pool.Get(id1)
+	if err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+	f.Unpin(false)
 }
 
 func TestBufferPoolUnpinPanics(t *testing.T) {
 	pool := NewBufferPool(NewMemStore(), 2, &Meter{})
+	f, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Unpin(false)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Unpin of non-resident page should panic")
+			t.Fatal("double Unpin should panic")
 		}
 	}()
-	pool.Unpin(PageID{File: 9, PageNo: 9}, false)
+	f.Unpin(false)
+}
+
+// orderStore records the order of page write-backs.
+type orderStore struct {
+	*MemStore
+	writes []PageID
+}
+
+func (o *orderStore) Write(id PageID, p Page) error {
+	o.writes = append(o.writes, id)
+	return o.MemStore.Write(id, p)
+}
+
+func TestFlushLimitWritesInLRUOrder(t *testing.T) {
+	store := &orderStore{MemStore: NewMemStore()}
+	pool := NewBufferPool(store, 4, &Meter{})
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		f, err := pool.NewPage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID())
+		f.Unpin(true)
+	}
+	// Touch page 0 so page 1 becomes the eviction candidate; recency is
+	// now 1 (oldest), 2, 0 (newest).
+	f, err := pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Unpin(false)
+	n, err := pool.FlushLimit(1)
+	if err != nil || n != 1 {
+		t.Fatalf("FlushLimit = %d, %v", n, err)
+	}
+	if len(store.writes) != 1 || store.writes[0] != ids[1] {
+		t.Fatalf("first flush should hit the LRU dirty page %v, wrote %v", ids[1], store.writes)
+	}
+	// The rest follow in LRU order, skipping the already-clean page.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []PageID{ids[1], ids[2], ids[0]}
+	if len(store.writes) != 3 {
+		t.Fatalf("writes = %v", store.writes)
+	}
+	for i, id := range want {
+		if store.writes[i] != id {
+			t.Fatalf("flush order = %v, want %v", store.writes, want)
+		}
+	}
 }
 
 func TestHeapInsertFetchAcrossPages(t *testing.T) {

@@ -18,12 +18,12 @@ type faultStore struct {
 
 var errInjected = errors.New("injected I/O failure")
 
-func (f *faultStore) Read(id PageID) (Page, error) {
+func (f *faultStore) ReadInto(id PageID, dst Page) error {
 	f.reads++
 	if f.failReads {
-		return nil, fmt.Errorf("read %v: %w", id, errInjected)
+		return fmt.Errorf("read %v: %w", id, errInjected)
 	}
-	return f.MemStore.Read(id)
+	return f.MemStore.ReadInto(id, dst)
 }
 
 func (f *faultStore) Write(id PageID, p Page) error {
@@ -37,21 +37,22 @@ func (f *faultStore) Write(id PageID, p Page) error {
 func TestBufferPoolSurfacesReadFailures(t *testing.T) {
 	fs := &faultStore{MemStore: NewMemStore()}
 	pool := NewBufferPool(fs, 4, &Meter{})
-	id, _, err := pool.NewPage(1)
+	f, err := pool.NewPage(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool.Unpin(id, true)
+	id := f.ID()
+	f.Unpin(true)
 	if err := pool.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
 	// Evict it by filling the pool, then fail the re-read.
 	for i := 0; i < 4; i++ {
-		nid, _, err := pool.NewPage(1)
+		nf, err := pool.NewPage(1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pool.Unpin(nid, false)
+		nf.Unpin(false)
 	}
 	fs.failReads = true
 	if _, err := pool.Get(id); !errors.Is(err, errInjected) {
@@ -62,14 +63,14 @@ func TestBufferPoolSurfacesReadFailures(t *testing.T) {
 func TestBufferPoolSurfacesWriteFailuresOnEviction(t *testing.T) {
 	fs := &faultStore{MemStore: NewMemStore()}
 	pool := NewBufferPool(fs, 1, &Meter{})
-	id, _, err := pool.NewPage(1)
+	f, err := pool.NewPage(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool.Unpin(id, true) // dirty
+	f.Unpin(true) // dirty
 	fs.failWrites = true
 	// Allocating a second page forces eviction of the dirty page.
-	if _, _, err := pool.NewPage(1); !errors.Is(err, errInjected) {
+	if _, err := pool.NewPage(1); !errors.Is(err, errInjected) {
 		t.Fatalf("expected injected failure, got %v", err)
 	}
 }
@@ -77,11 +78,11 @@ func TestBufferPoolSurfacesWriteFailuresOnEviction(t *testing.T) {
 func TestFlushLimitSurfacesWriteFailures(t *testing.T) {
 	fs := &faultStore{MemStore: NewMemStore()}
 	pool := NewBufferPool(fs, 4, &Meter{})
-	id, _, err := pool.NewPage(1)
+	f, err := pool.NewPage(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool.Unpin(id, true)
+	f.Unpin(true)
 	fs.failWrites = true
 	if _, err := pool.FlushLimit(10); !errors.Is(err, errInjected) {
 		t.Fatalf("expected injected failure, got %v", err)
@@ -120,11 +121,11 @@ func TestHeapPropagatesStorageFailures(t *testing.T) {
 	}
 	// Evict the heap page.
 	for i := 0; i < 2; i++ {
-		nid, _, err := pool.NewPage(2)
+		nf, err := pool.NewPage(2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pool.Unpin(nid, false)
+		nf.Unpin(false)
 	}
 	fs.failReads = true
 	if _, err := h.Fetch(rid); !errors.Is(err, errInjected) {

@@ -38,27 +38,28 @@ func (h *Heap) Insert(tuple []byte) (RID, error) {
 		return RID{}, fmt.Errorf("rubisdb: tuple of %d bytes exceeds half page", len(tuple))
 	}
 	if h.has {
-		page, err := h.pool.Get(h.last)
+		f, err := h.pool.Get(h.last)
 		if err != nil {
 			return RID{}, err
 		}
-		if slot, err := page.InsertCell(tuple); err == nil {
-			h.pool.Unpin(h.last, true)
+		if slot, err := f.Page.InsertCell(tuple); err == nil {
+			f.Unpin(true)
 			h.Rows++
 			return RID{PageNo: h.last.PageNo, Slot: uint16(slot)}, nil
 		}
-		h.pool.Unpin(h.last, false)
+		f.Unpin(false)
 	}
-	id, page, err := h.pool.NewPage(h.file)
+	f, err := h.pool.NewPage(h.file)
 	if err != nil {
 		return RID{}, err
 	}
-	slot, err := page.InsertCell(tuple)
+	slot, err := f.Page.InsertCell(tuple)
 	if err != nil {
-		h.pool.Unpin(id, false)
+		f.Unpin(false)
 		return RID{}, err
 	}
-	h.pool.Unpin(id, true)
+	id := f.ID()
+	f.Unpin(true)
 	h.last = id
 	h.has = true
 	h.Rows++
@@ -67,30 +68,28 @@ func (h *Heap) Insert(tuple []byte) (RID, error) {
 
 // Fetch returns a copy of the tuple at rid.
 func (h *Heap) Fetch(rid RID) ([]byte, error) {
-	id := PageID{File: h.file, PageNo: rid.PageNo}
-	page, err := h.pool.Get(id)
+	f, err := h.pool.Get(PageID{File: h.file, PageNo: rid.PageNo})
 	if err != nil {
 		return nil, err
 	}
-	cell, err := page.Cell(int(rid.Slot))
+	cell, err := f.Page.Cell(int(rid.Slot))
 	if err != nil {
-		h.pool.Unpin(id, false)
+		f.Unpin(false)
 		return nil, err
 	}
 	out := append([]byte(nil), cell...)
-	h.pool.Unpin(id, false)
+	f.Unpin(false)
 	return out, nil
 }
 
 // UpdateInPlace overwrites the tuple at rid with a same-length payload.
 func (h *Heap) UpdateInPlace(rid RID, tuple []byte) error {
-	id := PageID{File: h.file, PageNo: rid.PageNo}
-	page, err := h.pool.Get(id)
+	f, err := h.pool.Get(PageID{File: h.file, PageNo: rid.PageNo})
 	if err != nil {
 		return err
 	}
-	err = page.UpdateCellInPlace(int(rid.Slot), tuple)
-	h.pool.Unpin(id, err == nil)
+	err = f.Page.UpdateCellInPlace(int(rid.Slot), tuple)
+	f.Unpin(err == nil)
 	return err
 }
 
@@ -98,24 +97,23 @@ func (h *Heap) UpdateInPlace(rid RID, tuple []byte) error {
 func (h *Heap) Scan(store *MemStore, fn func(rid RID, tuple []byte) bool) error {
 	n := store.PageCount(h.file)
 	for pn := uint32(0); pn < n; pn++ {
-		id := PageID{File: h.file, PageNo: pn}
-		page, err := h.pool.Get(id)
+		f, err := h.pool.Get(PageID{File: h.file, PageNo: pn})
 		if err != nil {
 			return err
 		}
-		cells := page.NumCells()
+		cells := f.Page.NumCells()
 		for s := 0; s < cells; s++ {
-			cell, err := page.Cell(s)
+			cell, err := f.Page.Cell(s)
 			if err != nil {
-				h.pool.Unpin(id, false)
+				f.Unpin(false)
 				return err
 			}
 			if !fn(RID{PageNo: pn, Slot: uint16(s)}, cell) {
-				h.pool.Unpin(id, false)
+				f.Unpin(false)
 				return nil
 			}
 		}
-		h.pool.Unpin(id, false)
+		f.Unpin(false)
 	}
 	return nil
 }

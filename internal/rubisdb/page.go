@@ -32,10 +32,17 @@ type Page []byte
 // NewPage returns an initialized empty page.
 func NewPage() Page {
 	p := make(Page, PageSize)
+	p.initHeader()
+	return p
+}
+
+// initHeader resets the slot header of a zeroed page: no slots, all
+// space between the header and the page end free. The buffer pool uses
+// it when recycling page buffers so the layout lives only here.
+func (p Page) initHeader() {
 	p.setNSlots(0)
 	p.setFreeStart(pageHeaderSize)
 	p.setFreeEnd(PageSize)
-	return p
 }
 
 func (p Page) nSlots() int        { return int(binary.BigEndian.Uint16(p[0:2])) }

@@ -1,9 +1,11 @@
 package rubisdb
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // ColType is a column type.
@@ -177,6 +179,68 @@ func (t *Table) Insert(row Row) (RID, error) {
 	t.engine.meter.RowsWritten++
 	t.engine.wal.AppendRecord(t.id, walInsert, tuple)
 	return rid, nil
+}
+
+// BulkInsert loads rows into an empty table through the sorted
+// bulk-load path: tuples are appended to the heap once, then the
+// primary-key and secondary indexes are built with BTree.BulkLoad
+// instead of one root-to-leaf descent per row. Rows must be sorted by
+// strictly ascending primary key (the dataset generators emit them that
+// way); secondary entries are sorted here before loading.
+func (t *Table) BulkInsert(rows []Row) error {
+	if t.heap.Rows != 0 || t.pk.Len() != 0 {
+		return fmt.Errorf("table %s: BulkInsert needs an empty table", t.Name)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	pkEntries := make([]Entry, 0, len(rows))
+	secEntries := make([][]Entry, len(t.secCols))
+	for i := range secEntries {
+		secEntries[i] = make([]Entry, 0, len(rows))
+	}
+	var lastKey int64
+	for ri, row := range rows {
+		tuple, err := EncodeRow(t.Schema, row)
+		if err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+		key, ok := row[t.pkCol].(int64)
+		if !ok {
+			return fmt.Errorf("table %s: primary key must be int64", t.Name)
+		}
+		if ri > 0 && key <= lastKey {
+			return fmt.Errorf("table %s: BulkInsert rows must be sorted by unique primary key (%d after %d)", t.Name, key, lastKey)
+		}
+		lastKey = key
+		rid, err := t.heap.Insert(tuple)
+		if err != nil {
+			return err
+		}
+		enc := rid.Encode()
+		pkEntries = append(pkEntries, Entry{Key: key, Value: enc})
+		for si, col := range t.secCols {
+			sk, ok := row[col].(int64)
+			if !ok {
+				return fmt.Errorf("table %s: secondary key column %d must be int64", t.Name, col)
+			}
+			secEntries[si] = append(secEntries[si], Entry{Key: sk, Value: enc})
+		}
+		t.engine.meter.RowsWritten++
+		t.engine.wal.AppendRecord(t.id, walInsert, tuple)
+	}
+	if err := t.pk.BulkLoad(pkEntries); err != nil {
+		return err
+	}
+	for si, entries := range secEntries {
+		slices.SortFunc(entries, func(a, b Entry) int {
+			return cmp.Or(cmp.Compare(a.Key, b.Key), cmp.Compare(a.Value, b.Value))
+		})
+		if err := t.secs[si].BulkLoad(entries); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // GetByPK returns the row with the given primary key, or nil when absent.

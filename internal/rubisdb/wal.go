@@ -18,6 +18,9 @@ type WAL struct {
 	Flushes uint64
 	// TotalBytes counts all framed bytes ever appended.
 	TotalBytes float64
+	// scratch is the reusable framing buffer for AppendRecord; records
+	// are accounted, not retained, so one buffer serves every append.
+	scratch []byte
 }
 
 // walFrameOverhead is the per-record framing: lsn + length + checksum.
@@ -47,11 +50,15 @@ func (w *WAL) Append(payload []byte) uint64 {
 
 // AppendRecord frames a typed record (table id + op code + image).
 func (w *WAL) AppendRecord(table uint32, op byte, image []byte) uint64 {
-	hdr := make([]byte, 5+len(image))
-	binary.BigEndian.PutUint32(hdr[0:4], table)
-	hdr[4] = op
-	copy(hdr[5:], image)
-	return w.Append(hdr)
+	need := 5 + len(image)
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	rec := w.scratch[:need]
+	binary.BigEndian.PutUint32(rec[0:4], table)
+	rec[4] = op
+	copy(rec[5:], image)
+	return w.Append(rec)
 }
 
 // Flush commits buffered bytes.

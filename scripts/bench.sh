@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the tracked benchmarks and emits a BENCH_<date>.json snapshot in
+# the repo root, so the perf trajectory is comparable across PRs.
+#
+# Usage:  scripts/bench.sh   # defaults: 3x whole-sim, 20000x micro
+#         BENCHTIME=10x scripts/bench.sh   # override both
+#
+# The snapshot maps benchmark name -> ns/op. Whole-sim benchmarks
+# (EngineOnly, the sweep pair) run few iterations; micro-benchmarks run
+# enough to be stable at the chosen -benchtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sim_benchtime="${BENCHTIME:-3x}"
+micro_benchtime="${BENCHTIME:-20000x}"
+out="BENCH_$(date +%Y-%m-%d).json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run xxx -bench 'BenchmarkEngineOnly$|BenchmarkSweepWorkers' \
+	-benchtime "$sim_benchtime" . | tee -a "$tmp"
+go test -run xxx \
+	-bench 'BenchmarkBTree|BenchmarkBufferPoolGet|BenchmarkBulkLoad|BenchmarkHeapInsert|BenchmarkEngineQueryMix' \
+	-benchtime "$micro_benchtime" ./internal/rubisdb/ | tee -a "$tmp"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "ns_per_op": {\n'
+	awk '/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		lines[n++] = sprintf("    \"%s\": %s", name, $3)
+	}
+	END {
+		for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+	}' "$tmp"
+	printf '  }\n'
+	printf '}\n'
+} > "$out"
+echo "wrote $out"
