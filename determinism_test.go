@@ -1,0 +1,68 @@
+package vwchar_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"vwchar"
+	"vwchar/internal/sim"
+)
+
+// goldenSweepSHA256 is the SHA-256 of the aggregated sweep table for the
+// reduced grid below, captured on the kernel *before* the event-pooling
+// rewrite (PR 3). The simulation's determinism contract says this stream
+// depends only on the seed and the grid — never on scheduler internals —
+// so any kernel or model-layer change that shifts event ordering shows
+// up here as a hash mismatch rather than as silently different figures.
+//
+// If a PR intentionally changes model behaviour (costs, workloads,
+// RNG draw sequence), regenerate with:
+//
+//	go test -run TestFullSweepOutputMatchesGoldenHash -v
+//
+// and update the constant alongside an explanation of what moved.
+const goldenSweepSHA256 = "ed6435cc16aa747ba32cc3214b07c763fdf27ec1949404d0402c5791313bdfaf"
+
+// goldenSweepSpec is the reduced full grid used for the golden hash:
+// every (env, mix) point of the paper's sweep, 2 replications, small
+// dataset — big enough to exercise both deployments, all five mixes,
+// the storage engine, and millions of kernel events, small enough for
+// CI.
+func goldenSweepSpec() vwchar.SweepSpec {
+	return vwchar.SweepSpec{
+		Points: vwchar.FullSweepGrid(func(c *vwchar.Config) {
+			c.Clients = 20
+			c.Duration = 20 * sim.Second
+			c.Dataset.Users = 2000
+			c.Dataset.ActiveItems = 600
+			c.Dataset.OldItems = 1300
+			c.Dataset.BufferPages = 500
+		}),
+		Replications: 2,
+		RootSeed:     42,
+		Workers:      1,
+	}
+}
+
+// TestFullSweepOutputMatchesGoldenHash hashes the per-grid-point stats
+// stream of the full sweep and compares it against the hash committed
+// before the kernel rewrite: the pooled-event kernel must replay the
+// paper's experiment grid byte-for-byte.
+func TestFullSweepOutputMatchesGoldenHash(t *testing.T) {
+	sr, err := vwchar.Sweep(goldenSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	got := hex.EncodeToString(sum[:])
+	if got != goldenSweepSHA256 {
+		t.Fatalf("sweep output hash changed:\n  got  %s\n  want %s\n(%d bytes of table output; see the constant's comment for when updating is legitimate)",
+			got, goldenSweepSHA256, buf.Len())
+	}
+}

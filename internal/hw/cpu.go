@@ -6,7 +6,10 @@
 //
 // All devices are driven by the discrete-event kernel in internal/sim and
 // maintain cumulative demand counters that the sysstat collector samples
-// every 2 seconds, exactly as the paper's monitoring did.
+// every 2 seconds, exactly as the paper's monitoring did. Completion
+// callbacks follow the kernel's closure-free (sim.Callback, arg)
+// convention, and job/event state is pooled, so steady-state dispatch
+// performs no heap allocations.
 package hw
 
 import (
@@ -30,11 +33,16 @@ type CPU struct {
 	cores   int
 	freqHz  float64
 	speed   float64 // multiplier applied by a hypervisor scheduler
-	jobs    map[*cpuJob]struct{}
+	jobs    []*cpuJob
+	jobFree sim.FreeList[cpuJob]
 	nextSeq uint64
 
 	lastUpdate sim.Time
-	completion *sim.Event
+	completion sim.Event
+
+	// doneScratch stages completed-job callbacks so job structs can be
+	// recycled before the callbacks (which may submit new jobs) run.
+	doneScratch []pendingDone
 
 	// cumulative counters (sampled by the collector)
 	totalCycles float64
@@ -44,8 +52,14 @@ type CPU struct {
 
 type cpuJob struct {
 	remaining float64 // cycles
-	done      func()
+	done      sim.Callback
+	arg       any
 	seq       uint64
+}
+
+type pendingDone struct {
+	done sim.Callback
+	arg  any
 }
 
 // NewCPU builds a CPU with the given core count and per-core frequency.
@@ -62,7 +76,6 @@ func NewCPU(k *sim.Kernel, name string, cores int, freqHz float64) *CPU {
 		cores:  cores,
 		freqHz: freqHz,
 		speed:  1,
-		jobs:   make(map[*cpuJob]struct{}),
 	}
 }
 
@@ -114,7 +127,7 @@ func (c *CPU) advance() {
 	if len(c.jobs) > 0 {
 		rate := c.perJobRate()
 		drained := rate * float64(dt) / float64(sim.Second)
-		for j := range c.jobs {
+		for _, j := range c.jobs {
 			j.remaining -= drained
 			if j.remaining < 0 {
 				j.remaining = 0
@@ -126,24 +139,29 @@ func (c *CPU) advance() {
 	c.lastUpdate = now
 }
 
-// reschedule computes the next completion time and plants one event.
+// cpuComplete is the closure-free completion callback: one per CPU, the
+// CPU itself is the context.
+func cpuComplete(arg any) { arg.(*CPU).complete() }
+
+// reschedule computes the next completion time and plants one event,
+// moving the existing pooled event in place when possible.
 func (c *CPU) reschedule() {
-	if c.completion != nil {
-		c.completion.Cancel()
-		c.completion = nil
-	}
 	if len(c.jobs) == 0 {
+		c.completion.Cancel()
+		c.completion = sim.Event{}
 		return
 	}
 	rate := c.perJobRate()
 	if rate <= 0 {
 		// Domain currently descheduled: work is frozen until SetSpeed
 		// grants capacity again.
+		c.completion.Cancel()
+		c.completion = sim.Event{}
 		return
 	}
-	var next *cpuJob
-	for j := range c.jobs {
-		if next == nil || j.remaining < next.remaining ||
+	next := c.jobs[0]
+	for _, j := range c.jobs[1:] {
+		if j.remaining < next.remaining ||
 			(j.remaining == next.remaining && j.seq < next.seq) {
 			next = j
 		}
@@ -156,55 +174,67 @@ func (c *CPU) reschedule() {
 	if delay < 1 {
 		delay = 1
 	}
-	c.completion = c.k.After(delay, c.complete)
+	at := c.k.Now() + delay
+	if !c.completion.Reschedule(at) {
+		c.completion = c.k.AtCall(at, cpuComplete, c)
+	}
 }
 
 // complete retires every job whose demand has drained. The epsilon is
 // one nanosecond of work at the current rate: below that the job cannot
 // be distinguished from done at the kernel's time resolution.
 func (c *CPU) complete() {
-	c.completion = nil
+	c.completion = sim.Event{}
 	c.advance()
 	eps := c.perJobRate() * 1e-9
 	if eps < 1e-6 {
 		eps = 1e-6
 	}
-	var finished []*cpuJob
-	for j := range c.jobs {
+	// Partition in place: jobs are stored in submission (seq) order, so
+	// the filtered survivors and the finished set both stay seq-sorted,
+	// which keeps completion order deterministic.
+	c.doneScratch = c.doneScratch[:0]
+	w := 0
+	for _, j := range c.jobs {
 		if j.remaining <= eps {
-			finished = append(finished, j)
+			c.doneScratch = append(c.doneScratch, pendingDone{j.done, j.arg})
+			c.jobFree.Put(j)
+			continue
 		}
+		c.jobs[w] = j
+		w++
 	}
-	// Deterministic completion order.
-	for i := 0; i < len(finished); i++ {
-		for j := i + 1; j < len(finished); j++ {
-			if finished[j].seq < finished[i].seq {
-				finished[i], finished[j] = finished[j], finished[i]
-			}
-		}
+	for i := w; i < len(c.jobs); i++ {
+		c.jobs[i] = nil
 	}
-	for _, j := range finished {
-		delete(c.jobs, j)
-	}
+	c.jobs = c.jobs[:w]
 	c.reschedule()
-	for _, j := range finished {
-		if j.done != nil {
-			j.done()
+	for i := range c.doneScratch {
+		d := &c.doneScratch[i]
+		if d.done != nil {
+			d.done(d.arg)
 		}
+		d.done = nil
+		d.arg = nil
 	}
 }
 
-// Submit enqueues cycles of CPU demand; done fires when they have been
-// executed. Zero or negative demand completes on the next event tick.
-func (c *CPU) Submit(cycles float64, done func()) {
+// Submit enqueues cycles of CPU demand; done (optional, with its context
+// arg) fires when they have been executed. Zero or negative demand
+// completes on the next event tick.
+func (c *CPU) Submit(cycles float64, done sim.Callback, arg any) {
 	c.advance()
 	if cycles < 0 {
 		cycles = 0
 	}
-	j := &cpuJob{remaining: cycles, done: done, seq: c.nextSeq}
+	j := c.jobFree.Get()
+	j.remaining = cycles
+	j.done = done
+	j.arg = arg
+	j.seq = c.nextSeq
 	c.nextSeq++
 	c.jobCount++
-	c.jobs[j] = struct{}{}
+	c.jobs = append(c.jobs, j)
 	c.reschedule()
 }
 

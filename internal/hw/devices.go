@@ -33,9 +33,9 @@ func NewDisk(k *sim.Kernel, name string, seek sim.Time, bytesPerS float64) *Disk
 	return &Disk{k: k, name: name, seek: seek, bytesPerS: bytesPerS}
 }
 
-// Submit enqueues an operation of the given size; done fires when the
-// transfer finishes. write selects the direction counter.
-func (d *Disk) Submit(bytes float64, write bool, done func()) {
+// Submit enqueues an operation of the given size; done(arg) fires when
+// the transfer finishes. write selects the direction counter.
+func (d *Disk) Submit(bytes float64, write bool, done sim.Callback, arg any) {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -55,7 +55,7 @@ func (d *Disk) Submit(bytes float64, write bool, done func()) {
 		d.readOps++
 	}
 	if done != nil {
-		d.k.At(finish, done)
+		d.k.AtCall(finish, done, arg)
 	}
 }
 
@@ -125,9 +125,9 @@ func NewNIC(k *sim.Kernel, name string, latency sim.Time, bytesPerS float64) *NI
 // mtu is the packet size used to convert bytes to packet counters.
 const mtu = 1500.0
 
-// Send transmits bytes out of this interface; done fires when the last
-// byte is on the wire plus latency.
-func (n *NIC) Send(bytes float64, done func()) {
+// Send transmits bytes out of this interface; done(arg) fires when the
+// last byte is on the wire plus latency.
+func (n *NIC) Send(bytes float64, done sim.Callback, arg any) {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -141,12 +141,13 @@ func (n *NIC) Send(bytes float64, done func()) {
 	n.txBytes += bytes
 	n.txPackets += uint64(bytes/mtu) + 1
 	if done != nil {
-		n.k.At(finish+n.latency, done)
+		n.k.AtCall(finish+n.latency, done, arg)
 	}
 }
 
-// Receive accounts for inbound bytes; done fires after the transfer.
-func (n *NIC) Receive(bytes float64, done func()) {
+// Receive accounts for inbound bytes; done(arg) fires after the
+// transfer.
+func (n *NIC) Receive(bytes float64, done sim.Callback, arg any) {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -160,7 +161,7 @@ func (n *NIC) Receive(bytes float64, done func()) {
 	n.rxBytes += bytes
 	n.rxPackets += uint64(bytes/mtu) + 1
 	if done != nil {
-		n.k.At(finish, done)
+		n.k.AtCall(finish, done, arg)
 	}
 }
 

@@ -12,7 +12,7 @@ func TestCPUSingleJobTiming(t *testing.T) {
 	k := sim.NewKernel()
 	cpu := NewCPU(k, "c", 4, 1e9)
 	var doneAt sim.Time
-	cpu.Submit(2e9, func() { doneAt = k.Now() }) // 2s of work on one core
+	cpu.Submit(2e9, func(any) { doneAt = k.Now() }, nil) // 2s of work on one core
 	k.Run(sim.MaxTime)
 	if doneAt != 2*sim.Second {
 		t.Fatalf("done at %v, want 2s", doneAt)
@@ -33,7 +33,7 @@ func TestCPUParallelJobsUseAllCores(t *testing.T) {
 	finish := make([]sim.Time, 4)
 	for i := 0; i < 4; i++ {
 		i := i
-		cpu.Submit(1e9, func() { finish[i] = k.Now() })
+		cpu.Submit(1e9, func(any) { finish[i] = k.Now() }, nil)
 	}
 	k.Run(sim.MaxTime)
 	for i, f := range finish {
@@ -48,7 +48,7 @@ func TestCPUOverloadSharesCapacity(t *testing.T) {
 	cpu := NewCPU(k, "c", 2, 1e9)
 	var finishes []sim.Time
 	for i := 0; i < 4; i++ {
-		cpu.Submit(1e9, func() { finishes = append(finishes, k.Now()) })
+		cpu.Submit(1e9, func(any) { finishes = append(finishes, k.Now()) }, nil)
 	}
 	k.Run(sim.MaxTime)
 	// 4 jobs on 2 cores: each runs at 0.5e9 cyc/s, so all finish at 2s.
@@ -67,7 +67,7 @@ func TestCPUSpeedScaling(t *testing.T) {
 	cpu := NewCPU(k, "c", 1, 1e9)
 	cpu.SetSpeed(0.5)
 	var doneAt sim.Time
-	cpu.Submit(1e9, func() { doneAt = k.Now() })
+	cpu.Submit(1e9, func(any) { doneAt = k.Now() }, nil)
 	k.Run(sim.MaxTime)
 	if doneAt != 2*sim.Second {
 		t.Fatalf("half-speed job done at %v, want 2s", doneAt)
@@ -78,7 +78,7 @@ func TestCPUFreezeAndThaw(t *testing.T) {
 	k := sim.NewKernel()
 	cpu := NewCPU(k, "c", 1, 1e9)
 	var doneAt sim.Time
-	cpu.Submit(1e9, func() { doneAt = k.Now() })
+	cpu.Submit(1e9, func(any) { doneAt = k.Now() }, nil)
 	k.At(500*sim.Millisecond, func() { cpu.SetSpeed(0) })
 	k.At(1500*sim.Millisecond, func() { cpu.SetSpeed(1) })
 	k.Run(sim.MaxTime)
@@ -92,9 +92,9 @@ func TestCPUMidRunArrival(t *testing.T) {
 	k := sim.NewKernel()
 	cpu := NewCPU(k, "c", 1, 1e9)
 	var first, second sim.Time
-	cpu.Submit(1e9, func() { first = k.Now() })
+	cpu.Submit(1e9, func(any) { first = k.Now() }, nil)
 	k.At(500*sim.Millisecond, func() {
-		cpu.Submit(0.5e9, func() { second = k.Now() })
+		cpu.Submit(0.5e9, func(any) { second = k.Now() }, nil)
 	})
 	k.Run(sim.MaxTime)
 	// After 0.5s: job1 has 0.5e9 left, job2 has 0.5e9; sharing one core
@@ -107,7 +107,7 @@ func TestCPUMidRunArrival(t *testing.T) {
 func TestCPUBusyTimeAndUtilization(t *testing.T) {
 	k := sim.NewKernel()
 	cpu := NewCPU(k, "c", 1, 1e9)
-	cpu.Submit(1e9, nil)
+	cpu.Submit(1e9, nil, nil)
 	k.Run(4 * sim.Second)
 	if got := cpu.BusyTime(); got != sim.Second {
 		t.Fatalf("BusyTime = %v, want 1s", got)
@@ -138,7 +138,7 @@ func TestDiskServiceTime(t *testing.T) {
 	k := sim.NewKernel()
 	d := NewDisk(k, "d", 4*sim.Millisecond, 100e6)
 	var doneAt sim.Time
-	d.Submit(100e6, false, func() { doneAt = k.Now() }) // 1s transfer + 4ms
+	d.Submit(100e6, false, func(any) { doneAt = k.Now() }, nil) // 1s transfer + 4ms
 	k.Run(sim.MaxTime)
 	if doneAt != sim.Second+4*sim.Millisecond {
 		t.Fatalf("done at %v", doneAt)
@@ -156,8 +156,8 @@ func TestDiskFIFOQueueing(t *testing.T) {
 	k := sim.NewKernel()
 	d := NewDisk(k, "d", 0, 100e6)
 	var first, second sim.Time
-	d.Submit(100e6, true, func() { first = k.Now() })
-	d.Submit(100e6, true, func() { second = k.Now() })
+	d.Submit(100e6, true, func(any) { first = k.Now() }, nil)
+	d.Submit(100e6, true, func(any) { second = k.Now() }, nil)
 	k.Run(sim.MaxTime)
 	if first != sim.Second || second != 2*sim.Second {
 		t.Fatalf("first=%v second=%v", first, second)
@@ -182,8 +182,8 @@ func TestNICTransferAndCounters(t *testing.T) {
 	k := sim.NewKernel()
 	n := NewNIC(k, "n", sim.Millisecond, 125e6)
 	var sentAt, recvAt sim.Time
-	n.Send(125e6, func() { sentAt = k.Now() })
-	n.Receive(125e6, func() { recvAt = k.Now() })
+	n.Send(125e6, func(any) { sentAt = k.Now() }, nil)
+	n.Receive(125e6, func(any) { recvAt = k.Now() }, nil)
 	k.Run(sim.MaxTime)
 	if sentAt != sim.Second+sim.Millisecond {
 		t.Fatalf("sentAt = %v", sentAt)
@@ -204,8 +204,8 @@ func TestNICFullDuplex(t *testing.T) {
 	k := sim.NewKernel()
 	n := NewNIC(k, "n", 0, 125e6)
 	var sentAt, recvAt sim.Time
-	n.Send(125e6, func() { sentAt = k.Now() })
-	n.Receive(125e6, func() { recvAt = k.Now() })
+	n.Send(125e6, func(any) { sentAt = k.Now() }, nil)
+	n.Receive(125e6, func(any) { recvAt = k.Now() }, nil)
 	k.Run(sim.MaxTime)
 	// Full duplex: both directions complete at 1s, not serialized.
 	if sentAt != sim.Second || recvAt != sim.Second {
@@ -263,7 +263,7 @@ func TestPropertyCPUCycleConservation(t *testing.T) {
 		for _, r := range raw {
 			cycles := float64(r) * 1e5
 			total += cycles
-			cpu.Submit(cycles, func() { done++ })
+			cpu.Submit(cycles, func(any) { done++ }, nil)
 		}
 		k.Run(sim.MaxTime)
 		if done != len(raw) {
@@ -294,7 +294,7 @@ func TestPropertyDiskByteConservation(t *testing.T) {
 			} else {
 				reads += b
 			}
-			d.Submit(b, write, nil)
+			d.Submit(b, write, nil, nil)
 		}
 		k.Run(sim.MaxTime)
 		return d.ReadBytes() == reads && d.WrittenBytes() == writes

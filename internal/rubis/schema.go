@@ -11,7 +11,6 @@
 package rubis
 
 import (
-	"fmt"
 	"math"
 
 	"vwchar/internal/rng"
@@ -177,6 +176,28 @@ const itemDescription = "Lorem ipsum dolor sit amet, consectetur adipiscing elit
 	"eiusmod tempor incididunt ut labore et dolore magna aliqua. Ut enim ad minim " +
 	"veniam, quis nostrud exercitation ullamco laboris nisi ut aliquip ex ea commodo."
 
+// paddedName formats prefix + zero-padded i exactly like
+// fmt.Sprintf(prefix+"%0<width>d", i) but without the fmt machinery: the
+// dataset population names a few thousand rows per replication, and the
+// sweep runs hundreds of replications.
+func paddedName(prefix string, i, width int) string {
+	var b [32]byte
+	buf := append(b[:0], prefix...)
+	start := len(buf)
+	n := 1
+	for lim := 10; n < width || i >= lim; lim *= 10 {
+		n++
+	}
+	for j := 0; j < n; j++ {
+		buf = append(buf, '0')
+	}
+	for p := len(buf) - 1; p >= start; p-- {
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf)
+}
+
 // populate loads the dataset through the engine's sorted bulk path:
 // every table's rows are generated in primary-key order (the RNG draw
 // sequence is identical to row-at-a-time insertion), appended to the
@@ -186,14 +207,14 @@ func (a *App) populate(r *rng.Stream) error {
 	cfg := a.Config
 	rows := make([]rubisdb.Row, 0, cfg.Regions)
 	for i := 0; i < cfg.Regions; i++ {
-		rows = append(rows, rubisdb.Row{int64(i), fmt.Sprintf("region-%02d", i)})
+		rows = append(rows, rubisdb.Row{int64(i), paddedName("region-", i, 2)})
 	}
 	if err := a.regions.BulkInsert(rows); err != nil {
 		return err
 	}
 	rows = make([]rubisdb.Row, 0, cfg.Categories)
 	for i := 0; i < cfg.Categories; i++ {
-		rows = append(rows, rubisdb.Row{int64(i), fmt.Sprintf("category-%02d", i)})
+		rows = append(rows, rubisdb.Row{int64(i), paddedName("category-", i, 2)})
 	}
 	if err := a.categories.BulkInsert(rows); err != nil {
 		return err
@@ -202,7 +223,7 @@ func (a *App) populate(r *rng.Stream) error {
 	for i := 0; i < cfg.Users; i++ {
 		rows = append(rows, rubisdb.Row{
 			int64(i),
-			fmt.Sprintf("user%06d", i),
+			paddedName("user", i, 6),
 			int64(r.Intn(cfg.Regions)),
 			int64(r.Intn(10)),
 			r.Uniform(0, 1000),
@@ -219,7 +240,7 @@ func (a *App) populate(r *rng.Stream) error {
 		price := r.Uniform(1, 500)
 		rows = append(rows, rubisdb.Row{
 			int64(i),
-			fmt.Sprintf("item-%06d", i),
+			paddedName("item-", i, 6),
 			itemDescription,
 			int64(r.Intn(cfg.Users)),
 			int64(r.Intn(cfg.Categories)),

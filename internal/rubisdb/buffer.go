@@ -22,10 +22,34 @@ type Store interface {
 	Allocate(file uint32) PageID
 }
 
+// pagesPerSlab sizes the slabs that page buffers are carved from: 1 MB
+// slabs mean one large allocation per 128 pages instead of 128 small
+// ones, which takes both the per-object malloc bookkeeping and most of
+// the explicit zeroing (fresh large spans arrive pre-zeroed from the OS)
+// off the dataset-population path.
+const pagesPerSlab = 128
+
+// pageSlab carves fixed-size, zeroed page buffers out of large slabs.
+// Carved pages are never returned to the slab; recycling happens at the
+// consumer (the buffer pool's free list, the store's per-id reuse).
+type pageSlab struct {
+	buf []byte
+}
+
+func (s *pageSlab) take() Page {
+	if len(s.buf) < PageSize {
+		s.buf = make([]byte, PageSize*pagesPerSlab)
+	}
+	p := Page(s.buf[:PageSize:PageSize])
+	s.buf = s.buf[PageSize:]
+	return p
+}
+
 // MemStore is the in-memory Store.
 type MemStore struct {
 	pages map[PageID]Page
 	next  map[uint32]uint32
+	slab  pageSlab
 }
 
 // NewMemStore returns an empty store.
@@ -59,7 +83,7 @@ func (m *MemStore) Read(id PageID) (Page, error) {
 func (m *MemStore) Write(id PageID, p Page) error {
 	dst, ok := m.pages[id]
 	if !ok {
-		dst = make(Page, PageSize)
+		dst = m.slab.take()
 		m.pages[id] = dst
 	}
 	copy(dst, p)
@@ -70,7 +94,7 @@ func (m *MemStore) Write(id PageID, p Page) error {
 func (m *MemStore) Allocate(file uint32) PageID {
 	id := PageID{File: file, PageNo: m.next[file]}
 	m.next[file]++
-	m.pages[id] = make(Page, PageSize)
+	m.pages[id] = m.slab.take()
 	return id
 }
 
@@ -163,6 +187,7 @@ type BufferPool struct {
 	meter     *Meter
 	freeFrame *Frame // singly linked through next
 	freePage  []Page
+	slab      pageSlab
 }
 
 // NewBufferPool builds a pool of capacity pages over store, metering
@@ -222,7 +247,7 @@ func (b *BufferPool) takePage() Page {
 		b.freePage = b.freePage[:n-1]
 		return p
 	}
-	return make(Page, PageSize)
+	return b.slab.take()
 }
 
 // Get pins the page into the pool, loading it on a miss (possibly

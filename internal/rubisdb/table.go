@@ -1,7 +1,6 @@
 package rubisdb
 
 import (
-	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -44,10 +43,18 @@ type Row []any
 // EncodeRow serializes row against schema. Int64 and Float64 are 8 bytes
 // big-endian; strings are length-prefixed (u16).
 func EncodeRow(schema Schema, row Row) ([]byte, error) {
+	return AppendRow(schema, nil, row)
+}
+
+// AppendRow serializes row against schema, appending to dst and
+// returning the extended buffer. Every storage-side consumer of a tuple
+// copies it (pages, the WAL framing buffer), so hot paths pass a reused
+// scratch buffer and encode without allocating.
+func AppendRow(schema Schema, dst []byte, row Row) ([]byte, error) {
 	if len(row) != len(schema) {
 		return nil, fmt.Errorf("rubisdb: row arity %d != schema arity %d", len(row), len(schema))
 	}
-	var out []byte
+	out := dst
 	for i, col := range schema {
 		switch col.Type {
 		case TInt64:
@@ -136,6 +143,9 @@ type Table struct {
 	secs    []*BTree
 
 	engine *Engine
+	// rowScratch is the reused tuple-encoding buffer for this table's
+	// write paths; safe because pages and the WAL copy the bytes.
+	rowScratch []byte
 }
 
 // walInsert and walUpdate are WAL op codes.
@@ -144,10 +154,21 @@ const (
 	walUpdate = 2
 )
 
+// encode serializes row into the table's reused scratch buffer. The
+// returned slice is valid until the next encode on this table.
+func (t *Table) encode(row Row) ([]byte, error) {
+	buf, err := AppendRow(t.Schema, t.rowScratch[:0], row)
+	if err != nil {
+		return nil, err
+	}
+	t.rowScratch = buf
+	return buf, nil
+}
+
 // Insert validates and stores row, maintaining all indexes, and returns
 // its RID.
 func (t *Table) Insert(row Row) (RID, error) {
-	tuple, err := EncodeRow(t.Schema, row)
+	tuple, err := t.encode(row)
 	if err != nil {
 		return RID{}, fmt.Errorf("table %s: %w", t.Name, err)
 	}
@@ -201,7 +222,7 @@ func (t *Table) BulkInsert(rows []Row) error {
 	}
 	var lastKey int64
 	for ri, row := range rows {
-		tuple, err := EncodeRow(t.Schema, row)
+		tuple, err := t.encode(row)
 		if err != nil {
 			return fmt.Errorf("table %s: %w", t.Name, err)
 		}
@@ -233,14 +254,77 @@ func (t *Table) BulkInsert(rows []Row) error {
 		return err
 	}
 	for si, entries := range secEntries {
-		slices.SortFunc(entries, func(a, b Entry) int {
-			return cmp.Or(cmp.Compare(a.Key, b.Key), cmp.Compare(a.Value, b.Value))
-		})
+		sortEntriesByKey(entries)
 		if err := t.secs[si].BulkLoad(entries); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortEntriesByKey sorts index entries by (Key, Value). BulkInsert
+// appends entries in strictly increasing Value (RID) order, so any
+// stable sort by Key alone yields the full (Key, Value) order; when the
+// key range is dense — secondary keys are row ids drawn from a bounded
+// id space — a stable counting sort replaces the O(n log n) comparison
+// sort that used to dominate dataset population. Sparse or negative key
+// ranges fall back to the comparison sort.
+func sortEntriesByKey(entries []Entry) {
+	if len(entries) < 64 {
+		slices.SortFunc(entries, compareEntries)
+		return
+	}
+	lo, hi := entries[0].Key, entries[0].Key
+	for _, e := range entries[1:] {
+		if e.Key < lo {
+			lo = e.Key
+		}
+		if e.Key > hi {
+			hi = e.Key
+		}
+	}
+	// Unsigned subtraction is exact for any int64 pair with hi >= lo,
+	// so a span wider than int64 (lo near MinInt64, hi near MaxInt64)
+	// falls through to the comparison sort instead of wrapping.
+	span := uint64(hi) - uint64(lo)
+	if span > uint64(4*len(entries))+1024 {
+		slices.SortFunc(entries, compareEntries)
+		return
+	}
+	counts := make([]int32, span+2)
+	for _, e := range entries {
+		counts[uint64(e.Key)-uint64(lo)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	out := make([]Entry, len(entries))
+	for _, e := range entries {
+		c := uint64(e.Key) - uint64(lo)
+		out[counts[c]] = e
+		counts[c]++
+	}
+	copy(entries, out)
+}
+
+// compareEntries orders index entries by (Key, Value) with an explicit
+// short-circuit: the generic cmp.Or(cmp.Compare, cmp.Compare) form
+// evaluates both comparisons on every call, which shows up hard in the
+// bulk-load sort of every replication's dataset population.
+func compareEntries(a, b Entry) int {
+	if a.Key != b.Key {
+		if a.Key < b.Key {
+			return -1
+		}
+		return 1
+	}
+	if a.Value != b.Value {
+		if a.Value < b.Value {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // GetByPK returns the row with the given primary key, or nil when absent.
@@ -372,7 +456,7 @@ func (t *Table) UpdateNumeric(key int64, updates map[string]any) error {
 		}
 		row[ci] = val
 	}
-	tuple, err := EncodeRow(t.Schema, row)
+	tuple, err := t.encode(row)
 	if err != nil {
 		return err
 	}

@@ -1,7 +1,5 @@
 package rubisdb
 
-import "encoding/binary"
-
 // WAL is the engine's write-ahead log. Records are framed and appended;
 // the meter tracks bytes so the tier model can charge journaled write
 // traffic to the simulated disk (the reason bid-heavy workloads show more
@@ -18,9 +16,6 @@ type WAL struct {
 	Flushes uint64
 	// TotalBytes counts all framed bytes ever appended.
 	TotalBytes float64
-	// scratch is the reusable framing buffer for AppendRecord; records
-	// are accounted, not retained, so one buffer serves every append.
-	scratch []byte
 }
 
 // walFrameOverhead is the per-record framing: lsn + length + checksum.
@@ -36,9 +31,22 @@ func NewWAL(meter *Meter) *WAL {
 // contents are accounted, not retained: recovery is out of scope for the
 // workload study, and the byte stream is what the figures need.
 func (w *WAL) Append(payload []byte) uint64 {
+	return w.appendSized(len(payload))
+}
+
+// AppendRecord frames a typed record (table id + op code + image).
+// Append accounts by length only — the in-memory log never rereads the
+// payload — so framing is pure size arithmetic and the image is not
+// copied.
+func (w *WAL) AppendRecord(table uint32, op byte, image []byte) uint64 {
+	return w.appendSized(5 + len(image))
+}
+
+// appendSized appends a record of the given framed length.
+func (w *WAL) appendSized(payloadLen int) uint64 {
 	lsn := w.lsn
 	w.lsn++
-	n := float64(len(payload) + walFrameOverhead)
+	n := float64(payloadLen + walFrameOverhead)
 	w.buffered += n
 	w.TotalBytes += n
 	w.meter.WALBytes += n
@@ -46,19 +54,6 @@ func (w *WAL) Append(payload []byte) uint64 {
 		w.Flush()
 	}
 	return lsn
-}
-
-// AppendRecord frames a typed record (table id + op code + image).
-func (w *WAL) AppendRecord(table uint32, op byte, image []byte) uint64 {
-	need := 5 + len(image)
-	if cap(w.scratch) < need {
-		w.scratch = make([]byte, need)
-	}
-	rec := w.scratch[:need]
-	binary.BigEndian.PutUint32(rec[0:4], table)
-	rec[4] = op
-	copy(rec[5:], image)
-	return w.Append(rec)
 }
 
 // Flush commits buffered bytes.

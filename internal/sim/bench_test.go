@@ -2,27 +2,78 @@ package sim
 
 import "testing"
 
-func BenchmarkKernelScheduleAndRun(b *testing.B) {
+// benchDepth is the standing queue depth the schedule/drain benchmarks
+// operate at: deep enough that heap sifts traverse several levels, and
+// fixed so every iteration does the same work regardless of b.N (the
+// old combined benchmark mixed scheduling and draining in an
+// i%1024-dependent pattern, which made ns/op swing across -benchtime
+// values).
+const benchDepth = 1024
+
+// BenchmarkKernelSchedule is the schedule-heavy half: each iteration
+// pushes one event into a standing queue of benchDepth and pops one via
+// Step, so the per-iteration work unit is exactly one push + one pop at
+// constant depth.
+func BenchmarkKernelSchedule(b *testing.B) {
 	k := NewKernel()
+	for i := 0; i < benchDepth; i++ {
+		k.AfterCall(Time(i%997)*Microsecond, nop, nil)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k.After(Time(i%1000)*Microsecond, func() {})
-		if i%1024 == 0 {
-			k.Run(k.Now() + Millisecond)
-		}
+		k.AfterCall(Time(i%997)*Microsecond, nop, nil)
+		k.Step()
 	}
-	k.Run(MaxTime)
+}
+
+// BenchmarkKernelDrain is the drain-heavy half: batches of events are
+// scheduled with the timer stopped, then Run drains them; only the
+// drain is timed.
+func BenchmarkKernelDrain(b *testing.B) {
+	k := NewKernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for scheduled := 0; scheduled < b.N; {
+		n := 1 << 14
+		if n > b.N-scheduled {
+			n = b.N - scheduled
+		}
+		b.StopTimer()
+		for i := 0; i < n; i++ {
+			k.AfterCall(Time(i%997)*Microsecond, nop, nil)
+		}
+		b.StartTimer()
+		k.Run(k.Now() + Second)
+		scheduled += n
+	}
 }
 
 func BenchmarkKernelTickerHeavy(b *testing.B) {
 	// The hypervisor's quantum ticker dominates event counts in real
-	// runs; this measures the kernel's sustained event throughput.
+	// runs; this measures the kernel's sustained event throughput. The
+	// CI bench-smoke job fails if this reports nonzero allocs/op.
 	k := NewKernel()
 	count := 0
 	k.Every(Millisecond, Millisecond, func(Time) { count++ })
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run(Time(b.N) * Millisecond)
 	if count < b.N-1 {
 		b.Fatalf("ticker fired %d of %d", count, b.N)
+	}
+}
+
+// BenchmarkKernelCancelReschedule exercises the CPU model's dominant
+// pattern: a completion event moved in place on every submit.
+func BenchmarkKernelCancelReschedule(b *testing.B) {
+	k := NewKernel()
+	e := k.AfterCall(Millisecond, nop, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Reschedule(k.Now() + Millisecond + Time(i%64)*Microsecond) {
+			b.Fatal("completion event went stale")
+		}
 	}
 }

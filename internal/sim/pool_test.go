@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// nop is the no-allocation callback used by the guard tests.
+func nop(any) {}
+
+// TestStopReleasesTickerEventImmediately pins the satellite fix: Stop
+// must return the ticker's pooled event to the free list right away
+// instead of leaving a cancelled slot queued until its timestamp.
+func TestStopReleasesTickerEventImmediately(t *testing.T) {
+	k := NewKernel()
+	tk := k.Every(Minute, Minute, func(Time) {})
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	tk.Stop()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after Stop, want 0 (event released eagerly)", k.Pending())
+	}
+	if len(k.heap) != 0 {
+		t.Fatalf("heap still holds %d entries after Stop", len(k.heap))
+	}
+	tk.Stop() // idempotent
+	k.Run(10 * Minute)
+	if k.Processed() != 0 {
+		t.Fatalf("stopped ticker fired %d times", k.Processed())
+	}
+}
+
+// TestPendingCountsLiveEventsOnly pins the documented Pending contract:
+// lazily-cancelled events awaiting collection are not counted.
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
+	k := NewKernel()
+	a := k.At(Second, func() {})
+	k.At(2*Second, func() {})
+	a.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (cancelled event excluded)", k.Pending())
+	}
+	k.Run(MaxTime)
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", k.Pending())
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	e := k.At(Second, func() { order = append(order, "moved") })
+	k.At(2*Second, func() { order = append(order, "fixed") })
+	if !e.Reschedule(3 * Second) {
+		t.Fatal("Reschedule on a pending event returned false")
+	}
+	if e.Time() != 3*Second {
+		t.Fatalf("Time = %v after Reschedule", e.Time())
+	}
+	k.Run(MaxTime)
+	if len(order) != 2 || order[0] != "fixed" || order[1] != "moved" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Reschedule(5 * Second) {
+		t.Fatal("Reschedule on a fired event returned true")
+	}
+}
+
+// TestRescheduleRevivesCancelledEvent: moving a cancelled-but-queued
+// event revives it, matching the CPU model's cancel/re-arm cycle.
+func TestRescheduleRevivesCancelledEvent(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	e := k.At(Second, func() { fired++ })
+	e.Cancel()
+	if !e.Reschedule(2 * Second) {
+		t.Fatal("Reschedule on a cancelled queued event returned false")
+	}
+	k.Run(MaxTime)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (revived event)", fired)
+	}
+}
+
+// TestCompactionReleasesCancelledEvents drives the lazy-cancel path past
+// the compaction threshold and checks both bookkeeping and ordering.
+func TestCompactionReleasesCancelledEvents(t *testing.T) {
+	k := NewKernel()
+	var events []Event
+	var want []Time
+	for i := 0; i < 500; i++ {
+		at := Time(i) * Millisecond
+		events = append(events, k.At(at, func() {}))
+	}
+	// Cancel two of every three: well past the half-dead threshold.
+	for i, e := range events {
+		if i%3 != 0 {
+			e.Cancel()
+		} else {
+			want = append(want, Time(i)*Millisecond)
+		}
+	}
+	if k.Pending() != len(want) {
+		t.Fatalf("Pending = %d, want %d", k.Pending(), len(want))
+	}
+	if len(k.heap) >= 500 {
+		t.Fatalf("compaction never ran: heap holds %d entries", len(k.heap))
+	}
+	var got []Time
+	for range want {
+		if !k.Step() {
+			break
+		}
+		got = append(got, k.Now())
+	}
+	k.Run(MaxTime)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("survivor %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPropertyHeapMatchesOracle runs the intrusive heap against a
+// reference sort-by-(at, seq) oracle under random schedule, cancel,
+// reschedule, and ticker-stop interleavings.
+func TestPropertyHeapMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		k := NewKernel()
+		type spec struct {
+			at    Time
+			order int // logical insertion order (reschedule refreshes it)
+			live  bool
+		}
+		var specs []spec
+		var events []Event
+		var fired []int
+		order := 0
+		horizon := Time(1 + r.Intn(2000))
+		for op := 0; op < 120; op++ {
+			switch c := r.Intn(10); {
+			case c <= 5 || len(specs) == 0: // schedule
+				at := Time(r.Intn(int(horizon)))
+				id := len(specs)
+				specs = append(specs, spec{at: at, order: order, live: true})
+				order++
+				events = append(events, k.At(at, func() { fired = append(fired, id) }))
+			case c <= 7: // cancel a random event
+				i := r.Intn(len(specs))
+				specs[i].live = false
+				events[i].Cancel()
+			default: // reschedule a random event
+				i := r.Intn(len(specs))
+				at := Time(r.Intn(int(horizon)))
+				if events[i].Reschedule(at) {
+					specs[i] = spec{at: at, order: order, live: true}
+					order++
+				}
+			}
+		}
+		// A few tickers with deterministic stop-after-n-fires behaviour,
+		// validated separately from the oracle ordering.
+		tickerFires := make([]int, 3)
+		tickerWant := make([]int, 3)
+		for ti := 0; ti < 3; ti++ {
+			ti := ti
+			period := Time(1 + r.Intn(200))
+			stopAfter := r.Intn(4)
+			tickerWant[ti] = stopAfter
+			var tk *Ticker
+			tk = k.Every(period, period, func(Time) {
+				tickerFires[ti]++
+				if tickerFires[ti] >= stopAfter {
+					tk.Stop()
+				}
+			})
+			if stopAfter == 0 {
+				tk.Stop()
+				tickerWant[ti] = 0
+			}
+		}
+		k.Run(MaxTime)
+
+		var want []int
+		idx := make([]int, 0, len(specs))
+		for i, s := range specs {
+			if s.live {
+				idx = append(idx, i)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			sa, sb := specs[idx[a]], specs[idx[b]]
+			if sa.at != sb.at {
+				return sa.at < sb.at
+			}
+			return sa.order < sb.order
+		})
+		want = idx
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, oracle wants %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fired[%d] = ev%d, oracle wants ev%d", trial, i, fired[i], want[i])
+			}
+		}
+		for ti := range tickerFires {
+			if tickerWant[ti] > 0 && tickerFires[ti] != tickerWant[ti] {
+				t.Fatalf("trial %d: ticker %d fired %d, want %d", trial, ti, tickerFires[ti], tickerWant[ti])
+			}
+		}
+	}
+}
+
+// TestSteadyStateSchedulingIsAllocationFree is the regression guard for
+// the kernel's headline property: once the arena is warm, After+Run and
+// the closure-free AfterCall path allocate nothing.
+func TestSteadyStateSchedulingIsAllocationFree(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 256; i++ {
+		k.AfterCall(Time(i)*Microsecond, nop, nil)
+	}
+	k.Run(k.Now() + Millisecond)
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterCall(Microsecond, nop, nil)
+		k.Run(k.Now() + 2*Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("steady-state AfterCall+Run allocates %.1f/op, want 0", allocs)
+	}
+
+	noop := func() {}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		k.After(Microsecond, noop)
+		k.Run(k.Now() + 2*Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("steady-state After+Run allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTickerReschedulingIsAllocationFree pins the in-place ticker
+// re-arm: a warm ticker must sustain firing with zero allocations.
+func TestTickerReschedulingIsAllocationFree(t *testing.T) {
+	k := NewKernel()
+	fires := 0
+	k.Every(Microsecond, Microsecond, func(Time) { fires++ })
+	k.Run(10 * Microsecond)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		k.Run(k.Now() + Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("ticker rescheduling allocates %.1f/op, want 0", allocs)
+	}
+	if fires == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

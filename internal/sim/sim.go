@@ -8,10 +8,31 @@
 // The kernel is intentionally single-threaded: determinism matters more
 // than parallelism for workload characterization, where an experiment must
 // regenerate the exact same trace for a given seed.
+//
+// # Allocation discipline
+//
+// Steady-state scheduling performs zero heap allocations. Event structs
+// live in a kernel-owned arena and are recycled through a free list; the
+// priority queue is a hand-rolled 4-ary min-heap whose (at, seq) keys are
+// stored inline in the heap entries, so scheduling never boxes through an
+// interface and comparisons never chase an event pointer. Callers that
+// schedule in a hot loop should prefer the closure-free AtCall/AfterCall
+// path, which passes a callback plus a context argument instead of
+// allocating a capturing closure per event.
+//
+// # Event handle lifetime
+//
+// At, After, AtCall, and AfterCall return an Event handle (a value, not a
+// pointer). The handle stays valid until the event fires, is cancelled and
+// collected, or is removed; after that the kernel recycles the slot and
+// bumps its generation counter, so a retained stale handle becomes inert:
+// Cancel and Reschedule on it are no-ops, Pending reports false. A handle
+// can therefore be kept arbitrarily long without corrupting the pool or
+// affecting whatever event later reuses the slot — the same handle/pin
+// discipline the storage engine's buffer pool uses for frames.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -44,95 +65,253 @@ func (t Time) Sec() float64 { return float64(t) / float64(Second) }
 // String renders the time as seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Sec()) }
 
-// Event is a scheduled callback.
-type Event struct {
+// Callback is a closure-free event callback: the kernel passes back the
+// arg given at scheduling time. Passing a pointer-typed arg does not
+// allocate, which is what makes AtCall/AfterCall allocation-free where a
+// capturing closure passed to At/After would not be.
+type Callback func(arg any)
+
+// event is one pooled event slot in the kernel arena. The (at, seq)
+// ordering key is duplicated into the heap entry so that comparisons
+// stay inside the heap slice; the slot keeps at for Event.Time and
+// Reschedule.
+type event struct {
 	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
 	fn   func()
-	pos  int // heap index, -1 when not queued
+	call Callback
+	arg  any
+	pos  int32 // heap index, -1 when not queued (firing or free)
+	gen  uint32
 	dead bool
 }
 
-// Time reports when the event is scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+// heapEntry is one node of the 4-ary min-heap: the packed (at, seq)
+// comparison key plus the arena index it orders.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-// Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].pos = i
-	q[j].pos = j
+
+// Event is a handle to a scheduled callback. The zero value refers to no
+// event; all methods on it are inert. Handles are values: copy them
+// freely, compare against the zero value to test "no event".
+type Event struct {
+	k   *Kernel
+	idx int32
+	gen uint32
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.pos = len(*q)
-	*q = append(*q, e)
+
+// Time reports when the event is scheduled to fire, or -1 when the
+// handle is stale (the event already fired, was cancelled and collected,
+// or was removed).
+func (e Event) Time() Time {
+	k := e.k
+	if k == nil {
+		return -1
+	}
+	ev := &k.arena[e.idx]
+	if ev.gen != e.gen {
+		return -1
+	}
+	return ev.at
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.pos = -1
-	*q = old[:n-1]
-	return e
+
+// Pending reports whether the handle still refers to a queued live
+// event (not yet fired, not cancelled).
+func (e Event) Pending() bool {
+	k := e.k
+	if k == nil {
+		return false
+	}
+	ev := &k.arena[e.idx]
+	return ev.gen == e.gen && ev.pos >= 0 && !ev.dead
 }
+
+// Cancel prevents a pending event from firing. Cancellation is lazy: the
+// slot stays queued until the run loop reaches it or the kernel compacts
+// the queue, but the callback will not run. Cancelling a stale handle —
+// the event fired or was already collected — is a no-op, even if the
+// slot has since been recycled for an unrelated event.
+func (e Event) Cancel() {
+	k := e.k
+	if k == nil {
+		return
+	}
+	ev := &k.arena[e.idx]
+	if ev.gen != e.gen || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.pos >= 0 {
+		k.dead++
+		if k.dead > compactMinDead && k.dead*2 > len(k.heap) {
+			k.compact()
+		}
+	}
+}
+
+// Reschedule moves a still-pending event to absolute time t, reusing its
+// pooled slot (a cancelled-but-uncollected event is revived). It returns
+// false when the handle is stale or the event is mid-flight, in which
+// case the caller must schedule a fresh event. The moved event is
+// ordered as if newly scheduled: it fires after anything else already
+// scheduled at t.
+func (e Event) Reschedule(t Time) bool {
+	k := e.k
+	if k == nil {
+		return false
+	}
+	ev := &k.arena[e.idx]
+	if ev.gen != e.gen || ev.pos < 0 {
+		return false
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: rescheduling at %v before now %v", t, k.now))
+	}
+	if ev.dead {
+		ev.dead = false
+		k.dead--
+	}
+	ev.at = t
+	i := ev.pos
+	k.heap[i].at = t
+	k.heap[i].seq = k.seq
+	k.seq++
+	k.heapFix(i)
+	return true
+}
+
+// remove eagerly takes a pending event out of the queue and returns its
+// slot to the free list, reporting whether it did. A mid-flight event
+// (currently firing) is marked dead instead so the run loop collects it.
+func (e Event) remove() bool {
+	k := e.k
+	if k == nil {
+		return false
+	}
+	ev := &k.arena[e.idx]
+	if ev.gen != e.gen {
+		return false
+	}
+	if ev.pos < 0 {
+		ev.dead = true
+		return false
+	}
+	if ev.dead {
+		k.dead--
+	}
+	k.heapRemove(ev.pos)
+	k.release(e.idx)
+	return true
+}
+
+// compactMinDead is the queue-size floor below which lazy-cancelled
+// events are not worth compacting away.
+const compactMinDead = 32
 
 // Kernel is the simulation event loop.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
+	now   Time
+	arena []event
+	heap  []heapEntry
+	free  []int32 // arena slots ready for reuse
+	seq   uint64
+	// dead counts lazily-cancelled events still queued.
+	dead int
+	// firing is the arena index of the event whose callback is running,
+	// -1 otherwise; requeueFiring (the Ticker re-arm) targets it.
+	firing  int32
 	stopped bool
-	// Processed counts events executed so far (cancelled events excluded).
+	// processed counts events executed so far (cancelled events excluded).
 	processed uint64
 }
 
 // NewKernel returns a kernel at virtual time zero with an empty queue.
-func NewKernel() *Kernel { return &Kernel{} }
+func NewKernel() *Kernel { return &Kernel{firing: -1} }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending reports the number of queued (possibly cancelled) events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending reports the number of live queued events; lazily-cancelled
+// events awaiting collection are not counted.
+func (k *Kernel) Pending() int { return len(k.heap) - k.dead }
 
 // Processed reports how many events have been executed.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past (t < Now) panics: it always indicates a model bug, and silently
-// reordering time would corrupt every downstream statistic.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// schedule grabs a pooled slot, fills it, and queues it.
+func (k *Kernel) schedule(t Time, fn func(), call Callback, arg any) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, pos: -1}
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.arena = append(k.arena, event{gen: 1})
+		idx = int32(len(k.arena) - 1)
+	}
+	e := &k.arena[idx]
+	e.at = t
+	e.fn = fn
+	e.call = call
+	e.arg = arg
+	e.dead = false
+	k.heapPush(heapEntry{at: t, seq: k.seq, idx: idx})
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	return Event{k: k, idx: idx, gen: e.gen}
+}
+
+// release returns an arena slot to the free list, invalidating every
+// outstanding handle to it.
+func (k *Kernel) release(idx int32) {
+	e := &k.arena[idx]
+	e.gen++
+	e.fn = nil
+	e.call = nil
+	e.arg = nil
+	e.dead = false
+	e.pos = -1
+	k.free = append(k.free, idx)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it always indicates a model bug, and silently
+// reordering time would corrupt every downstream statistic.
+func (k *Kernel) At(t Time, fn func()) Event {
+	return k.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d Time, fn func()) *Event {
+func (k *Kernel) After(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
-	return k.At(k.now+d, fn)
+	return k.schedule(k.now+d, fn, nil, nil)
+}
+
+// AtCall schedules fn(arg) at absolute virtual time t without allocating
+// a closure: hot schedulers pass a package-level function plus the model
+// object it operates on.
+func (k *Kernel) AtCall(t Time, fn Callback, arg any) Event {
+	return k.schedule(t, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d after the current time.
+func (k *Kernel) AfterCall(d Time, fn Callback, arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.schedule(k.now+d, nil, fn, arg)
 }
 
 // Stop halts the run loop after the current event completes.
@@ -144,18 +323,21 @@ func (k *Kernel) Stop() { k.stopped = true }
 // early, so that samplers observing Now see a full window.
 func (k *Kernel) Run(until Time) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		next := k.queue[0]
-		if next.at > until {
+	for len(k.heap) > 0 && !k.stopped {
+		top := k.heap[0]
+		if top.at > until {
 			break
 		}
-		heap.Pop(&k.queue)
-		if next.dead {
+		idx := k.heapPopRoot()
+		e := &k.arena[idx]
+		if e.dead {
+			k.dead--
+			k.release(idx)
 			continue
 		}
-		k.now = next.at
+		k.now = top.at
 		k.processed++
-		next.fn()
+		k.fire(idx, e)
 	}
 	if k.now < until {
 		k.now = until
@@ -165,27 +347,66 @@ func (k *Kernel) Run(until Time) {
 // Step executes exactly one non-cancelled event if one exists, returning
 // true when an event ran.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
+	for len(k.heap) > 0 {
+		top := k.heap[0]
+		idx := k.heapPopRoot()
+		e := &k.arena[idx]
 		if e.dead {
+			k.dead--
+			k.release(idx)
 			continue
 		}
-		k.now = e.at
+		k.now = top.at
 		k.processed++
-		e.fn()
+		k.fire(idx, e)
 		return true
 	}
 	return false
 }
 
+// fire runs a dequeued event's callback and collects the slot, unless
+// the callback requeued it in place (the Ticker re-arm path). The
+// callback fields are copied out first: scheduling inside the callback
+// may grow the arena and move the slot.
+func (k *Kernel) fire(idx int32, e *event) {
+	fn, call, arg := e.fn, e.call, e.arg
+	prev := k.firing
+	k.firing = idx
+	if call != nil {
+		call(arg)
+	} else {
+		fn()
+	}
+	k.firing = prev
+	if k.arena[idx].pos < 0 {
+		k.release(idx)
+	}
+}
+
+// requeueFiring re-queues the currently firing event at time t, reusing
+// its arena slot and keeping its handles valid. Only meaningful from
+// inside an event callback.
+func (k *Kernel) requeueFiring(t Time) {
+	idx := k.firing
+	if idx < 0 {
+		panic("sim: requeue outside an event callback")
+	}
+	e := &k.arena[idx]
+	e.at = t
+	k.heapPush(heapEntry{at: t, seq: k.seq, idx: idx})
+	k.seq++
+}
+
 // Every schedules fn at t, t+period, t+2*period, ... until the returned
-// Ticker is stopped. fn receives the firing time.
+// Ticker is stopped. fn receives the firing time. Each period the ticker
+// re-arms by mutating its pooled event in place rather than scheduling a
+// fresh one, so a steady ticker performs zero allocations.
 func (k *Kernel) Every(start, period Time, fn func(Time)) *Ticker {
 	if period <= 0 {
 		panic("sim: Every requires a positive period")
 	}
 	tk := &Ticker{k: k, period: period, fn: fn}
-	tk.ev = k.At(start, tk.fire)
+	tk.ev = k.AtCall(start, tickerFire, tk)
 	return tk
 }
 
@@ -194,25 +415,156 @@ type Ticker struct {
 	k       *Kernel
 	period  Time
 	fn      func(Time)
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 
-func (t *Ticker) fire() {
+func tickerFire(arg any) {
+	t := arg.(*Ticker)
 	if t.stopped {
 		return
 	}
-	now := t.k.Now()
+	now := t.k.now
 	t.fn(now)
 	if !t.stopped {
-		t.ev = t.k.At(now+t.period, t.fire)
+		t.k.requeueFiring(now + t.period)
 	}
 }
 
-// Stop cancels future firings.
+// Stop cancels future firings and immediately returns the ticker's
+// pooled event to the kernel free list (it does not linger in the queue
+// until its timestamp). Stopping an already-stopped ticker is a no-op.
 func (t *Ticker) Stop() {
-	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
+	if t.stopped {
+		return
 	}
+	t.stopped = true
+	t.ev.remove()
+	t.ev = Event{}
+}
+
+// --- intrusive 4-ary min-heap -----------------------------------------
+//
+// Entries carry their (at, seq) key inline so comparisons never touch
+// the arena; the arena's pos field is the back-pointer that makes
+// removal and rescheduling O(log n). A 4-ary layout halves the tree
+// height of a binary heap: pops do more comparisons per level but far
+// fewer cache misses, which is the trade that pays off at the queue
+// sizes the tier models sustain.
+
+func (k *Kernel) heapPush(en heapEntry) {
+	i := int32(len(k.heap))
+	k.heap = append(k.heap, en)
+	k.arena[en.idx].pos = i
+	k.siftUp(i)
+}
+
+// heapPopRoot removes and returns the arena index of the minimum entry.
+func (k *Kernel) heapPopRoot() int32 {
+	h := k.heap
+	idx := h[0].idx
+	k.arena[idx].pos = -1
+	n := len(h) - 1
+	last := h[n]
+	k.heap = h[:n]
+	if n > 0 {
+		k.heap[0] = last
+		k.arena[last.idx].pos = 0
+		k.siftDown(0)
+	}
+	return idx
+}
+
+// heapRemove deletes the entry at heap position i.
+func (k *Kernel) heapRemove(i int32) {
+	h := k.heap
+	k.arena[h[i].idx].pos = -1
+	n := int32(len(h)) - 1
+	last := h[n]
+	k.heap = h[:n]
+	if i < n {
+		k.heap[i] = last
+		k.arena[last.idx].pos = i
+		k.heapFix(i)
+	}
+}
+
+// heapFix restores heap order after the key at position i changed.
+func (k *Kernel) heapFix(i int32) {
+	idx := k.heap[i].idx
+	k.siftUp(i)
+	if k.arena[idx].pos == i {
+		k.siftDown(i)
+	}
+}
+
+func (k *Kernel) siftUp(i int32) {
+	h := k.heap
+	en := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(en, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		k.arena[h[i].idx].pos = i
+		i = p
+	}
+	h[i] = en
+	k.arena[en.idx].pos = i
+}
+
+func (k *Kernel) siftDown(i int32) {
+	h := k.heap
+	n := int32(len(h))
+	en := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], en) {
+			break
+		}
+		h[i] = h[m]
+		k.arena[h[i].idx].pos = i
+		i = m
+	}
+	h[i] = en
+	k.arena[en.idx].pos = i
+}
+
+// compact rebuilds the heap without its lazily-cancelled entries,
+// releasing their slots. Triggered from Cancel once dead events exceed
+// half the queue, so the queue never carries more garbage than live
+// work; amortized cost per cancelled event is constant.
+func (k *Kernel) compact() {
+	h := k.heap
+	w := int32(0)
+	for _, en := range h {
+		e := &k.arena[en.idx]
+		if e.dead {
+			e.pos = -1
+			k.release(en.idx)
+			continue
+		}
+		h[w] = en
+		e.pos = w
+		w++
+	}
+	k.heap = h[:w]
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		k.siftDown(i)
+	}
+	k.dead = 0
 }

@@ -73,13 +73,29 @@ func TestCancel(t *testing.T) {
 	k := NewKernel()
 	fired := false
 	e := k.At(Second, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("Pending() = false for a queued event")
+	}
 	e.Cancel()
-	k.Run(MaxTime)
+	if e.Pending() {
+		t.Fatal("Pending() = true after Cancel")
+	}
+	k.Run(5 * Second)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if e.Pending() {
+		t.Fatal("Pending() = true after the run drained")
+	}
+	// Cancelling a stale handle must not disturb whatever event now
+	// occupies the recycled slot.
+	e.Cancel()
+	refired := false
+	k.At(10*Second, func() { refired = true })
+	e.Cancel()
+	k.Run(20 * Second)
+	if !refired {
+		t.Fatal("stale Cancel killed a recycled event")
 	}
 }
 

@@ -3,6 +3,10 @@
 // server (MySQL), running either inside VMs on a Xen host (virtualized
 // experiments) or on two separate physical servers (non-virtualized
 // experiments), plus the closed-loop client driver.
+//
+// All completion callbacks follow the sim kernel's closure-free
+// (sim.Callback, arg) convention; per-request state is pooled so the
+// steady-state request path schedules without heap allocations.
 package tiers
 
 import (
@@ -17,15 +21,15 @@ import (
 // guest-visible (virtual) cycle scale used by the interaction cost
 // models; each backend translates to its own accounting.
 type Backend interface {
-	// SubmitCPU schedules compute; done fires when it has executed.
-	SubmitCPU(cycles float64, done func())
+	// SubmitCPU schedules compute; done(arg) fires when it has executed.
+	SubmitCPU(cycles float64, done sim.Callback, arg any)
 	// DiskIO performs storage traffic (logical bytes).
-	DiskIO(bytes float64, write bool, done func())
+	DiskIO(bytes float64, write bool, done sim.Callback, arg any)
 	// NetExternal transfers bytes to/from clients outside the testbed.
-	NetExternal(bytes float64, inbound bool, done func())
-	// NetToPeer transfers bytes to the other tier; done fires when the
-	// peer has received them.
-	NetToPeer(bytes float64, done func())
+	NetExternal(bytes float64, inbound bool, done sim.Callback, arg any)
+	// NetToPeer transfers bytes to the other tier; done(arg) fires when
+	// the peer has received them.
+	NetToPeer(bytes float64, done sim.Callback, arg any)
 	// Fsync performs n synchronous journal flushes (write transactions).
 	Fsync(n int)
 	// OS exposes the instance's kernel counters.
@@ -42,24 +46,24 @@ type VMBackend struct {
 }
 
 // SubmitCPU implements Backend.
-func (b *VMBackend) SubmitCPU(cycles float64, done func()) {
-	b.Dom.CPU.Submit(cycles, done)
+func (b *VMBackend) SubmitCPU(cycles float64, done sim.Callback, arg any) {
+	b.Dom.CPU.Submit(cycles, done, arg)
 	b.Dom.OS.NoteContext(2)
 }
 
 // DiskIO implements Backend.
-func (b *VMBackend) DiskIO(bytes float64, write bool, done func()) {
-	b.HV.GuestDiskIO(b.Dom, bytes, write, done)
+func (b *VMBackend) DiskIO(bytes float64, write bool, done sim.Callback, arg any) {
+	b.HV.GuestDiskIO(b.Dom, bytes, write, done, arg)
 }
 
 // NetExternal implements Backend.
-func (b *VMBackend) NetExternal(bytes float64, inbound bool, done func()) {
-	b.HV.GuestNetExternal(b.Dom, bytes, inbound, done)
+func (b *VMBackend) NetExternal(bytes float64, inbound bool, done sim.Callback, arg any) {
+	b.HV.GuestNetExternal(b.Dom, bytes, inbound, done, arg)
 }
 
 // NetToPeer implements Backend.
-func (b *VMBackend) NetToPeer(bytes float64, done func()) {
-	b.HV.GuestNetInterVM(b.Dom, b.Peer, bytes, done)
+func (b *VMBackend) NetToPeer(bytes float64, done sim.Callback, arg any) {
+	b.HV.GuestNetInterVM(b.Dom, b.Peer, bytes, done, arg)
 }
 
 // Fsync implements Backend.
@@ -129,6 +133,17 @@ type PMBackend struct {
 
 	bufferedWrites float64
 	flusher        *sim.Ticker
+	fwdFree        sim.FreeList[pmFwd]
+}
+
+// pmFwd carries one inter-server transfer across its three stages (local
+// NIC send, wire latency, peer NIC receive), recycled through a
+// per-backend free list instead of two nested closures per transfer.
+type pmFwd struct {
+	b     *PMBackend
+	bytes float64
+	done  sim.Callback
+	darg  any
 }
 
 // NewPMBackend wires a physical backend and starts its write flusher.
@@ -144,68 +159,84 @@ func (b *PMBackend) flush(now sim.Time) {
 	}
 	burst := b.bufferedWrites
 	b.bufferedWrites = 0
-	b.Server.Disk.Submit(burst, true, nil)
+	b.Server.Disk.Submit(burst, true, nil, nil)
 	b.osinst.NotePaging(0, burst)
 }
 
 // SubmitCPU implements Backend.
-func (b *PMBackend) SubmitCPU(cycles float64, done func()) {
-	b.Server.CPU.Submit(cycles*b.Params.CycleFactor, done)
+func (b *PMBackend) SubmitCPU(cycles float64, done sim.Callback, arg any) {
+	b.Server.CPU.Submit(cycles*b.Params.CycleFactor, done, arg)
 	b.osinst.NoteContext(2)
 }
 
 // DiskIO implements Backend. Reads go straight to the device; writes are
 // buffered (page cache) and flushed in periodic bursts, which is what
 // gives physical servers their higher disk variance.
-func (b *PMBackend) DiskIO(bytes float64, write bool, done func()) {
+func (b *PMBackend) DiskIO(bytes float64, write bool, done sim.Callback, arg any) {
 	if write {
 		noisy := b.Noise.LogNormalMean(bytes*b.Params.DiskWriteAmp, b.Params.DiskNoiseCV)
 		b.bufferedWrites += noisy
 		if done != nil {
-			b.K.After(200*sim.Microsecond, done) // buffered write returns fast
+			b.K.AfterCall(200*sim.Microsecond, done, arg) // buffered write returns fast
 		}
 		return
 	}
 	noisy := b.Noise.LogNormalMean(bytes*b.Params.DiskReadAmp, b.Params.DiskNoiseCV)
-	b.Server.Disk.Submit(noisy, false, done)
+	b.Server.Disk.Submit(noisy, false, done, arg)
 	b.osinst.NotePaging(noisy, 0)
 	b.osinst.NoteInterrupts(1, 2)
 }
 
 // NetExternal implements Backend.
-func (b *PMBackend) NetExternal(bytes float64, inbound bool, done func()) {
-	b.Server.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil)
+func (b *PMBackend) NetExternal(bytes float64, inbound bool, done sim.Callback, arg any) {
+	b.Server.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil, nil)
 	b.osinst.NoteInterrupts(uint64(bytes/9000)+1, uint64(bytes/4500)+1)
 	if inbound {
-		b.Server.NIC.Receive(bytes, done)
+		b.Server.NIC.Receive(bytes, done, arg)
 	} else {
-		b.Server.NIC.Send(bytes, done)
+		b.Server.NIC.Send(bytes, done, arg)
 	}
+}
+
+// pmSent fires when the local NIC finished transmitting: start the wire
+// latency leg.
+func pmSent(arg any) {
+	f := arg.(*pmFwd)
+	f.b.K.AfterCall(f.b.Params.WireLatency, pmArrived, f)
+}
+
+// pmArrived fires when the transfer reaches the peer: charge its NIC and
+// hand off the caller's completion, then recycle the forward slot.
+func pmArrived(arg any) {
+	f := arg.(*pmFwd)
+	b := f.b
+	b.Peer.NIC.Receive(f.bytes, f.done, f.darg)
+	b.fwdFree.Put(f)
 }
 
 // NetToPeer implements Backend. Both hosts' NICs and CPUs are charged;
 // in the non-virtualized deployment inter-tier traffic is real wire
 // traffic.
-func (b *PMBackend) NetToPeer(bytes float64, done func()) {
-	b.Server.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil)
-	b.Peer.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil)
+func (b *PMBackend) NetToPeer(bytes float64, done sim.Callback, arg any) {
+	b.Server.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil, nil)
+	b.Peer.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil, nil)
 	b.osinst.NoteInterrupts(uint64(bytes/9000)+1, uint64(bytes/4500)+1)
-	lat := b.Params.WireLatency
-	b.Server.NIC.Send(bytes, func() {
-		b.K.After(lat, func() {
-			b.Peer.NIC.Receive(bytes, done)
-		})
-	})
+	f := b.fwdFree.Get()
+	f.b = b
+	f.bytes = bytes
+	f.done = done
+	f.darg = arg
+	b.Server.NIC.Send(bytes, pmSent, f)
 }
 
 // Fsync implements Backend: synchronous journal commits hit the host
 // disk directly (seek-bound small writes).
 func (b *PMBackend) Fsync(n int) {
 	for i := 0; i < n; i++ {
-		b.Server.Disk.Submit(4096, true, nil)
+		b.Server.Disk.Submit(4096, true, nil, nil)
 	}
 	b.osinst.NotePaging(0, float64(n)*4096)
-	b.Server.CPU.Submit(float64(n)*60e3, nil)
+	b.Server.CPU.Submit(float64(n)*60e3, nil, nil)
 }
 
 // OS implements Backend.

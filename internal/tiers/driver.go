@@ -29,13 +29,20 @@ type Driver struct {
 	writes    uint64
 }
 
+// client carries one closed-loop session. Its res cost breakdown is
+// reused across interactions (the loop guarantees at most one in
+// flight), and the client itself is the context argument for every
+// callback on its request path — the steady-state loop allocates
+// nothing.
 type client struct {
+	d      *Driver
 	id     int
 	sess   rubis.Session
 	state  rubis.Interaction
 	think  *rng.Stream
 	pick   *rng.Stream
 	sentAt sim.Time
+	res    rubis.Result
 }
 
 // NewDriver builds a driver for n clients using independent named
@@ -51,6 +58,7 @@ func NewDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web *WebAppServ
 	}
 	for i := 0; i < n; i++ {
 		c := &client{
+			d:     d,
 			id:    i,
 			state: model.StartState(),
 			think: src.Stream(fmt.Sprintf("client-%d-think", i)),
@@ -71,15 +79,38 @@ func NewDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web *WebAppServ
 // real load generators ramp.
 func (d *Driver) Start() {
 	for _, c := range d.clients {
-		c := c
 		delay := sim.Seconds(c.think.Float64() * d.model.ThinkSeconds(c.think) / 2)
-		d.k.After(delay, func() { d.issue(c) })
+		d.k.AfterCall(delay, clientIssue, c)
 	}
+}
+
+// clientIssue fires when a client's think time elapses.
+func clientIssue(arg any) {
+	c := arg.(*client)
+	c.d.issue(c)
+}
+
+// clientArrived fires when the request bytes reached the web tier.
+func clientArrived(arg any) {
+	c := arg.(*client)
+	c.d.web.HandleRequest(&c.res, clientDone, c)
+}
+
+// clientDone fires when the response reached the client.
+func clientDone(arg any) {
+	c := arg.(*client)
+	d := c.d
+	rt := (d.k.Now() - c.sentAt).Sec()
+	d.Completed++
+	if len(d.respTimes) < 200000 {
+		d.respTimes = append(d.respTimes, rt)
+	}
+	d.scheduleNext(c)
 }
 
 func (d *Driver) issue(c *client) {
 	c.state = d.model.NextInteraction(c.state, c.pick)
-	res, err := d.app.Execute(c.state, &c.sess, c.pick, d.costs)
+	err := d.app.ExecuteInto(&c.res, c.state, &c.sess, c.pick, d.costs)
 	if err != nil {
 		// An interaction failure is a model bug worth surfacing in
 		// results rather than a condition to paper over silently.
@@ -88,25 +119,16 @@ func (d *Driver) issue(c *client) {
 		return
 	}
 	d.byKind[c.state]++
-	if res.IsWrite {
+	if c.res.IsWrite {
 		d.writes++
 	}
 	c.sentAt = d.k.Now()
-	d.web.be.NetExternal(res.RequestBytes, true, func() {
-		d.web.HandleRequest(res, func() {
-			rt := (d.k.Now() - c.sentAt).Sec()
-			d.Completed++
-			if len(d.respTimes) < 200000 {
-				d.respTimes = append(d.respTimes, rt)
-			}
-			d.scheduleNext(c)
-		})
-	})
+	d.web.be.NetExternal(c.res.RequestBytes, true, clientArrived, c)
 }
 
 func (d *Driver) scheduleNext(c *client) {
 	think := d.model.ThinkSeconds(c.think)
-	d.k.After(sim.Seconds(think), func() { d.issue(c) })
+	d.k.AfterCall(sim.Seconds(think), clientIssue, c)
 }
 
 // WriteFraction reports the share of completed interactions that were

@@ -70,6 +70,10 @@ type WebAppServer struct {
 
 	active int
 	queue  []*webRequest
+	// reqFree recycles webRequest state: one request's whole lifecycle
+	// (admission, two CPU stages, the query chain, the response) runs on
+	// a single pooled struct threaded through closure-free callbacks.
+	reqFree sim.FreeList[webRequest]
 	// pendingSpill batches log/session writes until the pdflush-style
 	// ticker writes them back (the guest page cache), which is what
 	// shapes the web tier's spiky disk trace.
@@ -80,9 +84,13 @@ type WebAppServer struct {
 	QueuePeak int
 }
 
+// webRequest is the pooled per-request state.
 type webRequest struct {
+	w    *WebAppServer
 	res  *rubis.Result
-	done func()
+	done sim.Callback
+	darg any
+	qi   int // index of the next DB query to issue
 }
 
 // NewWebAppServer builds the tier on a backend, wired to its DB peer.
@@ -109,16 +117,17 @@ func (w *WebAppServer) flushSpill(now sim.Time) {
 	if w.pendingSpill <= 0 {
 		return
 	}
-	w.be.DiskIO(w.pendingSpill, true, nil)
+	w.be.DiskIO(w.pendingSpill, true, nil, nil)
 	w.pendingSpill = 0
 }
 
 // Growths reports how many worker-batch spawns (RAM jumps) occurred.
 func (w *WebAppServer) Growths() int { return w.alloc.Growths }
 
-// HandleRequest processes one parsed interaction; done fires when the
-// response has been transmitted to the client.
-func (w *WebAppServer) HandleRequest(res *rubis.Result, done func()) {
+// HandleRequest processes one parsed interaction; done(arg) fires when
+// the response has been transmitted to the client. The res cost
+// breakdown must stay untouched by the caller until then.
+func (w *WebAppServer) HandleRequest(res *rubis.Result, done sim.Callback, arg any) {
 	level := w.active + len(w.queue) + 1
 	if level > w.QueuePeak {
 		w.QueuePeak = level
@@ -126,10 +135,15 @@ func (w *WebAppServer) HandleRequest(res *rubis.Result, done func()) {
 	if w.alloc.Observe(w.k.Now(), level) {
 		// Worker-batch spawn: fork children, touch disk.
 		w.be.OS().Fork(8)
-		w.be.DiskIO(w.params.SpawnDiskBytes, true, nil)
+		w.be.DiskIO(w.params.SpawnDiskBytes, true, nil, nil)
 		w.be.OS().NoteFaults(2200, 14)
 	}
-	req := &webRequest{res: res, done: done}
+	req := w.reqFree.Get()
+	req.w = w
+	req.res = res
+	req.done = done
+	req.darg = arg
+	req.qi = 0
 	if w.active >= w.params.Workers {
 		w.queue = append(w.queue, req)
 		return
@@ -144,41 +158,68 @@ func (w *WebAppServer) start(req *webRequest) {
 	os.NoteContext(4)
 	os.NoteFaults(35, 0)
 	stage1 := req.res.WebCycles * w.params.StageSplit
-	w.be.SubmitCPU(stage1, func() {
-		w.runQueries(req, 0)
-	})
+	w.be.SubmitCPU(stage1, webStage1Done, req)
 }
 
-// runQueries issues the interaction's DB calls sequentially, as the PHP
+// webStage1Done fires after the pre-query CPU stage: begin the DB calls.
+func webStage1Done(arg any) {
+	req := arg.(*webRequest)
+	req.w.stepQuery(req)
+}
+
+// stepQuery issues the interaction's DB calls sequentially, as the PHP
 // runtime does.
-func (w *WebAppServer) runQueries(req *webRequest, i int) {
-	if i >= len(req.res.Queries) {
+func (w *WebAppServer) stepQuery(req *webRequest) {
+	if req.qi >= len(req.res.Queries) {
 		w.finish(req)
 		return
 	}
-	q := req.res.Queries[i]
-	w.be.NetToPeer(q.RequestBytes, func() {
-		w.db.HandleQuery(q, func() {
-			w.runQueries(req, i+1)
-		})
-	})
+	q := &req.res.Queries[req.qi]
+	w.be.NetToPeer(q.RequestBytes, webQuerySent, req)
+}
+
+// webQuerySent fires when the query's request bytes reached the DB tier.
+func webQuerySent(arg any) {
+	req := arg.(*webRequest)
+	req.w.db.HandleQuery(req.res.Queries[req.qi], webQueryDone, req)
+}
+
+// webQueryDone fires when the DB reply reached the web tier.
+func webQueryDone(arg any) {
+	req := arg.(*webRequest)
+	req.qi++
+	req.w.stepQuery(req)
 }
 
 func (w *WebAppServer) finish(req *webRequest) {
 	stage2 := req.res.WebCycles * (1 - w.params.StageSplit)
-	w.be.SubmitCPU(stage2, func() {
-		// Access log + session spill accumulate in the page cache and
-		// reach the disk on the writeback tick.
-		spill := w.params.SessionBytesPerRequest * (req.res.ResponseBytes / 9000)
-		w.pendingSpill += w.params.LogBytesPerRequest + spill
-		w.be.NetExternal(req.res.ResponseBytes, false, func() {
-			w.Served++
-			if req.done != nil {
-				req.done()
-			}
-		})
-		w.release()
-	})
+	w.be.SubmitCPU(stage2, webStage2Done, req)
+}
+
+// webStage2Done fires after template rendering: spill bookkeeping, start
+// the response transfer, and free the worker slot.
+func webStage2Done(arg any) {
+	req := arg.(*webRequest)
+	w := req.w
+	// Access log + session spill accumulate in the page cache and
+	// reach the disk on the writeback tick.
+	spill := w.params.SessionBytesPerRequest * (req.res.ResponseBytes / 9000)
+	w.pendingSpill += w.params.LogBytesPerRequest + spill
+	w.be.NetExternal(req.res.ResponseBytes, false, webRespDone, req)
+	w.release()
+}
+
+// webRespDone fires when the response reached the client: recycle the
+// request slot, then hand off to the caller's completion.
+func webRespDone(arg any) {
+	req := arg.(*webRequest)
+	w := req.w
+	w.Served++
+	done, darg := req.done, req.darg
+	w.reqFree.Put(req)
+	if done != nil {
+		done(darg)
+	}
 }
 
 func (w *WebAppServer) release() {
@@ -228,8 +269,20 @@ type DBServer struct {
 	cache  osmodel.PageCache
 	app    *rubis.App
 
+	// callFree recycles per-query call state.
+	callFree sim.FreeList[dbCall]
+
 	// Queries counts handled calls.
 	Queries uint64
+}
+
+// dbCall is the pooled per-query state: the query cost receipt plus the
+// caller's completion, threaded through the CPU and disk stages.
+type dbCall struct {
+	d    *DBServer
+	q    rubis.QueryCost
+	done sim.Callback
+	darg any
 }
 
 // NewDBServer builds the tier and starts its checkpoint ticker.
@@ -257,36 +310,60 @@ func (d *DBServer) checkpoint(now sim.Time) {
 	if err != nil || flushed == 0 {
 		return
 	}
-	d.be.DiskIO(float64(flushed)*8192, true, nil)
+	d.be.DiskIO(float64(flushed)*8192, true, nil, nil)
 }
 
-// HandleQuery replays one query receipt; done fires when the reply has
-// reached the web tier.
-func (d *DBServer) HandleQuery(q rubis.QueryCost, done func()) {
+// HandleQuery replays one query receipt; done(arg) fires when the reply
+// has reached the web tier.
+func (d *DBServer) HandleQuery(q rubis.QueryCost, done sim.Callback, arg any) {
 	d.Queries++
 	os := d.be.OS()
 	os.RunQueue++
 	os.NoteContext(3)
-	d.be.SubmitCPU(q.Receipt.CPUCycles, func() {
-		finish := func() {
-			if os.RunQueue > 0 {
-				os.RunQueue--
-			}
-			// WAL/journal traffic is asynchronous group commit, but a
-			// write transaction also forces a synchronous fsync chain.
-			if q.Receipt.DiskWriteBytes > 0 {
-				d.be.DiskIO(q.Receipt.DiskWriteBytes, true, nil)
-			}
-			if q.Receipt.Work.RowsWritten > 0 {
-				d.be.Fsync(2)
-			}
-			d.be.NetToPeer(q.ReplyBytes, done)
-		}
-		if q.Receipt.DiskReadBytes > 0 {
-			d.cache.Touch(q.Receipt.DiskReadBytes * 8)
-			d.be.DiskIO(q.Receipt.DiskReadBytes, false, finish)
-		} else {
-			finish()
-		}
-	})
+	c := d.callFree.Get()
+	c.d = d
+	c.q = q
+	c.done = done
+	c.darg = arg
+	d.be.SubmitCPU(q.Receipt.CPUCycles, dbCPUDone, c)
+}
+
+// dbCPUDone fires after the query's CPU demand executed: read from disk
+// if the receipt says so, then finish.
+func dbCPUDone(arg any) {
+	c := arg.(*dbCall)
+	d := c.d
+	if c.q.Receipt.DiskReadBytes > 0 {
+		d.cache.Touch(c.q.Receipt.DiskReadBytes * 8)
+		d.be.DiskIO(c.q.Receipt.DiskReadBytes, false, dbReadDone, c)
+		return
+	}
+	d.finishQuery(c)
+}
+
+// dbReadDone fires when the query's disk read completed.
+func dbReadDone(arg any) {
+	c := arg.(*dbCall)
+	c.d.finishQuery(c)
+}
+
+// finishQuery performs the write-side work and sends the reply, then
+// recycles the call slot (NetToPeer copies the completion into its own
+// event, so the slot is free as soon as the reply is on its way).
+func (d *DBServer) finishQuery(c *dbCall) {
+	os := d.be.OS()
+	if os.RunQueue > 0 {
+		os.RunQueue--
+	}
+	// WAL/journal traffic is asynchronous group commit, but a
+	// write transaction also forces a synchronous fsync chain.
+	if c.q.Receipt.DiskWriteBytes > 0 {
+		d.be.DiskIO(c.q.Receipt.DiskWriteBytes, true, nil, nil)
+	}
+	if c.q.Receipt.Work.RowsWritten > 0 {
+		d.be.Fsync(2)
+	}
+	replyBytes, done, darg := c.q.ReplyBytes, c.done, c.darg
+	d.callFree.Put(c)
+	d.be.NetToPeer(replyBytes, done, darg)
 }

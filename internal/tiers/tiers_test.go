@@ -127,7 +127,7 @@ func TestWorkerPoolQueues(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rig.web.HandleRequest(res, nil)
+		rig.web.HandleRequest(res, nil, nil)
 	}
 	if len(rig.web.queue) != 4 {
 		t.Fatalf("queue = %d, want 4 (1 active)", len(rig.web.queue))
@@ -172,7 +172,7 @@ func TestPMFlusherBatchesWrites(t *testing.T) {
 	os := osmodel.New("pm", srv.Mem, 10)
 	be := NewPMBackend(k, srv, peer, DefaultPMParams("web"), rng.NewSource(1).Stream("n"), os)
 	doneFast := false
-	be.DiskIO(1e6, true, func() { doneFast = true })
+	be.DiskIO(1e6, true, func(any) { doneFast = true }, nil)
 	k.Run(sim.Millisecond)
 	if !doneFast {
 		t.Fatal("buffered write should complete quickly")

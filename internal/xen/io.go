@@ -9,10 +9,71 @@ import "vwchar/internal/sim"
 // bridge for networking). Guest-visible counters advance by the logical
 // bytes so that VM sysstat and dom0 sysstat diverge exactly as in the
 // paper's Figures 3 and 4.
+//
+// The dom0 backend stage completes asynchronously (it is CPU work on
+// dom0's processor-sharing CPU), so the "what happens after the backend
+// ran" state — physical bytes, direction, the caller's completion
+// callback — is carried in an ioFwd struct recycled through a
+// hypervisor-owned free list rather than a per-operation closure.
 
-// GuestDiskIO performs a guest block operation of the given size; done
-// (optional) fires when the physical transfer completes.
-func (hv *Hypervisor) GuestDiskIO(d *Domain, bytes float64, write bool, done func()) {
+// ioFwd carries one in-flight split-driver operation from the dom0
+// backend CPU stage to the physical device stage.
+type ioFwd struct {
+	hv      *Hypervisor
+	bytes   float64
+	write   bool
+	inbound bool
+	done    sim.Callback
+	darg    any
+}
+
+func (hv *Hypervisor) newFwd(bytes float64, write, inbound bool, done sim.Callback, darg any) *ioFwd {
+	f := hv.fwdFree.Get()
+	f.hv = hv
+	f.bytes = bytes
+	f.write = write
+	f.inbound = inbound
+	f.done = done
+	f.darg = darg
+	return f
+}
+
+// fwdDisk runs when dom0's blkback CPU work completes: the amplified
+// bytes hit the physical disk. The device copies the completion callback
+// into its own event, so the forward slot recycles immediately.
+func fwdDisk(arg any) {
+	f := arg.(*ioFwd)
+	f.hv.host.Disk.Submit(f.bytes, f.write, f.done, f.darg)
+	f.hv.fwdFree.Put(f)
+}
+
+// fwdNet runs when dom0's netback CPU work completes: the bridged bytes
+// cross the physical NIC in the recorded direction.
+func fwdNet(arg any) {
+	f := arg.(*ioFwd)
+	if f.inbound {
+		f.hv.host.NIC.Receive(f.bytes, f.done, f.darg)
+	} else {
+		f.hv.host.NIC.Send(f.bytes, f.done, f.darg)
+	}
+	f.hv.fwdFree.Put(f)
+}
+
+// fwdInterVM runs when dom0's netback CPU work completes for a
+// guest-to-guest transfer: a memory-to-memory copy at bus speed rather
+// than wire speed, so only a latency event is scheduled.
+func fwdInterVM(arg any) {
+	f := arg.(*ioFwd)
+	if f.done != nil {
+		delay := sim.Time(f.bytes / 3e9 * float64(sim.Second))
+		f.hv.k.AfterCall(delay+40*sim.Microsecond, f.done, f.darg)
+	}
+	f.hv.fwdFree.Put(f)
+}
+
+// GuestDiskIO performs a guest block operation of the given size;
+// done(darg) (optional) fires when the physical transfer completes.
+func (hv *Hypervisor) GuestDiskIO(d *Domain, bytes float64, write bool, done sim.Callback, darg any) {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -48,15 +109,13 @@ func (hv *Hypervisor) GuestDiskIO(d *Domain, bytes float64, write bool, done fun
 		hv.dom0.OS.NotePaging(physBytes, 0)
 	}
 	hv.dom0.OS.NoteInterrupts(2, 3)
-	hv.dom0.CPU.Submit(backend, func() {
-		hv.host.Disk.Submit(physBytes, write, done)
-	})
+	hv.dom0.CPU.Submit(backend, fwdDisk, hv.newFwd(physBytes, write, false, done, darg))
 }
 
 // GuestNetExternal transfers bytes between a guest and the outside world
 // through the physical NIC and dom0's netback. inbound selects the
 // direction (true: world -> guest).
-func (hv *Hypervisor) GuestNetExternal(d *Domain, bytes float64, inbound bool, done func()) {
+func (hv *Hypervisor) GuestNetExternal(d *Domain, bytes float64, inbound bool, done sim.Callback, darg any) {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -75,13 +134,7 @@ func (hv *Hypervisor) GuestNetExternal(d *Domain, bytes float64, inbound bool, d
 	bridged := bytes * p.NetBridgeFactor
 	hv.dom0BackendNetBytes += bridged
 	hv.dom0.OS.NoteInterrupts(uint64(bytes/9000)+1, uint64(bytes/4500)+1)
-	hv.dom0.CPU.Submit(backend, func() {
-		if inbound {
-			hv.host.NIC.Receive(bridged, done)
-		} else {
-			hv.host.NIC.Send(bridged, done)
-		}
-	})
+	hv.dom0.CPU.Submit(backend, fwdNet, hv.newFwd(bridged, false, inbound, done, darg))
 }
 
 // GuestFsync performs n synchronous journal flushes on behalf of the
@@ -103,16 +156,14 @@ func (hv *Hypervisor) GuestFsync(d *Domain, n int) {
 	d.hypercallPhys += float64(n) * p.HypercallCycles
 	d.OS.NotePaging(0, float64(n)*p.FsyncBytes)
 	hv.dom0.OS.NotePaging(0, bytes)
-	hv.dom0.CPU.Submit(backend, func() {
-		hv.host.Disk.Submit(bytes, true, nil)
-	})
+	hv.dom0.CPU.Submit(backend, fwdDisk, hv.newFwd(bytes, true, false, nil, nil))
 }
 
 // GuestNetInterVM transfers bytes between two co-resident guests across
 // the software bridge. The physical NIC is not involved — this is the
 // virtualized deployment's structural advantage over the two-server
 // non-virtualized deployment — but both vifs and dom0's netback pay.
-func (hv *Hypervisor) GuestNetInterVM(src, dst *Domain, bytes float64, done func()) {
+func (hv *Hypervisor) GuestNetInterVM(src, dst *Domain, bytes float64, done sim.Callback, darg any) {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -134,13 +185,5 @@ func (hv *Hypervisor) GuestNetInterVM(src, dst *Domain, bytes float64, done func
 	hv.dom0BackendNetBytes += 2 * bytes
 	hv.host.NIC.Account(bytes, bytes)
 	hv.dom0.OS.NoteInterrupts(2, 4)
-	hv.dom0.CPU.Submit(backend, func() {
-		// Memory-to-memory copy at bus speed rather than wire speed.
-		delay := sim.Time(bytes / 3e9 * float64(sim.Second))
-		hv.k.After(delay+40*sim.Microsecond, func() {
-			if done != nil {
-				done()
-			}
-		})
-	})
+	hv.dom0.CPU.Submit(backend, fwdInterVM, hv.newFwd(bytes, false, false, done, darg))
 }

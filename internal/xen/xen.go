@@ -81,6 +81,20 @@ type Hypervisor struct {
 	perf          perfState
 	schedTicker   *sim.Ticker
 	ownTicker     *sim.Ticker
+
+	// fwdFree recycles split-driver forwarding state (see io.go).
+	fwdFree sim.FreeList[ioFwd]
+	// Quantum-scheduler scratch, reused across ticks so the hottest
+	// ticker in the system allocates nothing in steady state.
+	schedEntries []schedEntry
+	schedAlloc   []float64
+	schedRemain  []bool
+}
+
+// schedEntry is one runnable domain in a quantum scheduling pass.
+type schedEntry struct {
+	d      *Domain
+	demand float64 // cores wanted this quantum
 }
 
 // New builds a hypervisor on host with the given parameters. dom0 is
@@ -151,35 +165,38 @@ func (hv *Hypervisor) CreateGuest(name string, vcpus int, memBytes float64, weig
 // among runnable domains proportionally to weight, capped by each
 // domain's demand, then throttle domain CPUs accordingly.
 func (hv *Hypervisor) schedule(now sim.Time) {
-	type entry struct {
-		d      *Domain
-		demand float64 // cores wanted this quantum
-	}
-	all := append([]*Domain{hv.dom0}, hv.guests...)
-	entries := make([]entry, 0, len(all))
+	entries := hv.schedEntries[:0]
 	totalWeight := 0.0
-	for _, d := range all {
+	appendEntry := func(d *Domain) {
 		demand := float64(d.CPU.Active())
 		if demand > float64(d.VCPUs) {
 			demand = float64(d.VCPUs)
 		}
 		if demand > 0 {
-			entries = append(entries, entry{d, demand})
+			entries = append(entries, schedEntry{d, demand})
 			totalWeight += float64(d.Weight)
 		} else {
 			d.CPU.SetSpeed(1) // idle domains get full speed on wakeup
 		}
 	}
+	appendEntry(hv.dom0)
+	for _, d := range hv.guests {
+		appendEntry(d)
+	}
+	hv.schedEntries = entries[:0]
 	if len(entries) == 0 {
 		return
 	}
 	free := float64(hv.host.Spec.Cores)
-	alloc := make([]float64, len(entries))
+	alloc := hv.schedAlloc[:0]
+	remaining := hv.schedRemain[:0]
 	// Progressive filling: satisfy capped domains and redistribute.
-	remaining := make([]bool, len(entries))
-	for i := range remaining {
-		remaining[i] = true
+	for range entries {
+		alloc = append(alloc, 0)
+		remaining = append(remaining, true)
 	}
+	hv.schedAlloc = alloc[:0]
+	hv.schedRemain = remaining[:0]
 	for pass := 0; pass < len(entries); pass++ {
 		weightSum := 0.0
 		for i, e := range entries {
@@ -216,7 +233,6 @@ func (hv *Hypervisor) schedule(now sim.Time) {
 			break
 		}
 	}
-	quantumSec := hv.params.Quantum.Sec()
 	for i, e := range entries {
 		speed := alloc[i] / e.demand // demand > 0 here
 		if speed > 1 {
@@ -228,7 +244,6 @@ func (hv *Hypervisor) schedule(now sim.Time) {
 		}
 		// Each runnable VCPU incurs a scheduling context switch.
 		hv.perf.ContextSwitches += uint64(e.demand + 0.5)
-		_ = quantumSec
 	}
 	hv.perf.SchedRuns++
 }
@@ -236,7 +251,7 @@ func (hv *Hypervisor) schedule(now sim.Time) {
 // dom0OwnActivity injects dom0's management-plane load once per second.
 func (hv *Hypervisor) dom0OwnActivity(now sim.Time) {
 	p := hv.params
-	hv.dom0.CPU.Submit(p.Dom0OwnCyclesPerSecond, nil)
+	hv.dom0.CPU.Submit(p.Dom0OwnCyclesPerSecond, nil, nil)
 	hv.dom0OwnCycles += p.Dom0OwnCyclesPerSecond
 	hv.host.Disk.Account(p.Dom0OwnDiskBytesPerSecond, true)
 	hv.dom0OwnDiskBytes += p.Dom0OwnDiskBytesPerSecond

@@ -55,7 +55,7 @@ func TestVirtVsPhysCycleAccounting(t *testing.T) {
 	k := sim.NewKernel()
 	hv := newTestHV(k)
 	g := hv.CreateGuest("vm1", 2, 2<<30, 256)
-	g.CPU.Submit(1e9, nil)
+	g.CPU.Submit(1e9, nil, nil)
 	k.Run(10 * sim.Second)
 	virt := g.VirtCycles()
 	phys := g.PhysCycles()
@@ -67,7 +67,7 @@ func TestVirtVsPhysCycleAccounting(t *testing.T) {
 		t.Fatalf("PhysCycles = %v, want %v", phys, want)
 	}
 	// dom0 cycles are physical (no inflation).
-	hv.Dom0().CPU.Submit(1e6, nil)
+	hv.Dom0().CPU.Submit(1e6, nil, nil)
 	k.Run(11 * sim.Second)
 	if hv.Dom0().PhysCycles() < 1e6 {
 		t.Fatalf("dom0 PhysCycles = %v", hv.Dom0().PhysCycles())
@@ -79,7 +79,7 @@ func TestSplitDriverDiskRoutesThroughDom0(t *testing.T) {
 	hv := newTestHV(k)
 	g := hv.CreateGuest("vm1", 2, 2<<30, 256)
 	done := false
-	hv.GuestDiskIO(g, 100<<10, true, func() { done = true })
+	hv.GuestDiskIO(g, 100<<10, true, func(any) { done = true }, nil)
 	k.Run(10 * sim.Second)
 	if !done {
 		t.Fatal("disk completion never fired")
@@ -108,8 +108,8 @@ func TestSplitDriverNetExternal(t *testing.T) {
 	hv := newTestHV(k)
 	g := hv.CreateGuest("vm1", 2, 2<<30, 256)
 	done := 0
-	hv.GuestNetExternal(g, 10000, true, func() { done++ })
-	hv.GuestNetExternal(g, 5000, false, func() { done++ })
+	hv.GuestNetExternal(g, 10000, true, func(any) { done++ }, nil)
+	hv.GuestNetExternal(g, 5000, false, func(any) { done++ }, nil)
 	k.Run(10 * sim.Second)
 	if done != 2 {
 		t.Fatalf("completions = %d", done)
@@ -130,7 +130,7 @@ func TestInterVMTrafficSkipsPhysicalNICButCountsOnVifs(t *testing.T) {
 	web := hv.CreateGuest("web", 2, 2<<30, 256)
 	db := hv.CreateGuest("db", 2, 2<<30, 256)
 	done := false
-	hv.GuestNetInterVM(web, db, 1000, func() { done = true })
+	hv.GuestNetInterVM(web, db, 1000, func(any) { done = true }, nil)
 	k.Run(10 * sim.Second)
 	if !done {
 		t.Fatal("inter-VM transfer never completed")
@@ -173,7 +173,7 @@ func TestCreditSchedulerNoContentionFullSpeed(t *testing.T) {
 	g := hv.CreateGuest("vm1", 2, 2<<30, 256)
 	var doneAt sim.Time
 	// 620e6 virtual cycles = 1 s on one VCPU at the default rate.
-	g.CPU.Submit(DefaultParams().GuestVCPURate, func() { doneAt = k.Now() })
+	g.CPU.Submit(DefaultParams().GuestVCPURate, func(any) { doneAt = k.Now() }, nil)
 	k.Run(10 * sim.Second)
 	if doneAt == 0 {
 		t.Fatal("job never completed")
@@ -204,8 +204,8 @@ func TestCreditSchedulerContentionProportionalToWeight(t *testing.T) {
 	// ~4/5 of capacity (512 vs 128 weights).
 	var heavyDone, lightDone sim.Time
 	for i := 0; i < 2; i++ {
-		heavy.CPU.Submit(4e9, func() { heavyDone = k.Now() })
-		light.CPU.Submit(4e9, func() { lightDone = k.Now() })
+		heavy.CPU.Submit(4e9, func(any) { heavyDone = k.Now() }, nil)
+		light.CPU.Submit(4e9, func(any) { lightDone = k.Now() }, nil)
 	}
 	k.Run(120 * sim.Second)
 	if heavyDone >= lightDone {
@@ -237,8 +237,8 @@ func TestPerfCountersDeriveFromActivity(t *testing.T) {
 	k := sim.NewKernel()
 	hv := newTestHV(k)
 	g := hv.CreateGuest("vm1", 2, 2<<30, 256)
-	g.CPU.Submit(1e9, nil)
-	hv.GuestDiskIO(g, 8192, false, nil)
+	g.CPU.Submit(1e9, nil, nil)
+	hv.GuestDiskIO(g, 8192, false, nil, nil)
 	k.Run(20 * sim.Second)
 	counters := hv.PerfCounters()
 	if len(counters) != PerfCounterCount {

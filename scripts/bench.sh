@@ -5,7 +5,8 @@
 # Usage:  scripts/bench.sh   # defaults: 3x whole-sim, 20000x micro
 #         BENCHTIME=10x scripts/bench.sh   # override both
 #
-# The snapshot maps benchmark name -> ns/op. Whole-sim benchmarks
+# The snapshot maps benchmark name -> ns/op and benchmark name ->
+# allocs/op (everything runs under -benchmem). Whole-sim benchmarks
 # (EngineOnly, the sweep pair) run few iterations; micro-benchmarks run
 # enough to be stable at the chosen -benchtime.
 set -euo pipefail
@@ -18,10 +19,12 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench 'BenchmarkEngineOnly$|BenchmarkSweepWorkers' \
-	-benchtime "$sim_benchtime" . | tee -a "$tmp"
+	-benchtime "$sim_benchtime" -benchmem . | tee -a "$tmp"
 go test -run xxx \
 	-bench 'BenchmarkBTree|BenchmarkBufferPoolGet|BenchmarkBulkLoad|BenchmarkHeapInsert|BenchmarkEngineQueryMix' \
-	-benchtime "$micro_benchtime" ./internal/rubisdb/ | tee -a "$tmp"
+	-benchtime "$micro_benchtime" -benchmem ./internal/rubisdb/ | tee -a "$tmp"
+go test -run xxx -bench 'BenchmarkKernel' \
+	-benchtime "$micro_benchtime" -benchmem ./internal/sim/ | tee -a "$tmp"
 
 {
 	printf '{\n'
@@ -32,6 +35,16 @@ go test -run xxx \
 		name = $1
 		sub(/-[0-9]+$/, "", name)
 		lines[n++] = sprintf("    \"%s\": %s", name, $3)
+	}
+	END {
+		for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+	}' "$tmp"
+	printf '  },\n'
+	printf '  "allocs_per_op": {\n'
+	awk '/^Benchmark/ && $8 == "allocs/op" {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		lines[n++] = sprintf("    \"%s\": %s", name, $7)
 	}
 	END {
 		for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
