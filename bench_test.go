@@ -314,6 +314,31 @@ func BenchmarkWorkloadModel(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenLoopDriver measures a full open-loop experiment — the
+// bursty MMPP scenario through the virtualized stack with session
+// churn — at the same scale as the closed-loop figure benchmarks, so
+// the two driver paths stay comparable across PRs.
+func BenchmarkOpenLoopDriver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec, err := vwchar.LoadScenario("bursty")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Rate = 4
+		cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+		cfg.Duration = 120 * sim.Second
+		cfg.Seed = uint64(42 + i)
+		cfg.Load = &spec
+		res, err := vwchar.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sessions == nil || res.Sessions.Started == 0 {
+			b.Fatal("open-loop benchmark served no sessions")
+		}
+	}
+}
+
 // BenchmarkEngineOnly measures the storage engine in isolation (queries
 // per second without the simulation harness): the DB-tier ablation.
 func BenchmarkEngineOnly(b *testing.B) {

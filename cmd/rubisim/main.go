@@ -4,6 +4,13 @@
 // Usage:
 //
 //	rubisim -env virtualized -mix browsing -clients 1000 -duration 1200 -seed 42
+//
+// By default it drives the paper's closed-loop client population. The
+// open-loop workload generator is selected with -load (a scenario from
+// the catalog: steady, bursty, diurnal, flash-crowd) or -trace (a CSV
+// of "time_seconds,rate" knots replayed with linear interpolation);
+// -rate overrides the scenario's base intensity (for traces it is a
+// rate multiplier).
 package main
 
 import (
@@ -11,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vwchar"
 	"vwchar/internal/sim"
@@ -19,27 +27,72 @@ import (
 func main() {
 	env := flag.String("env", "virtualized", "deployment: virtualized | physical")
 	mix := flag.String("mix", "browsing", "client mix: browsing | bidding | 30/70 | 50/50 | 70/30")
-	clients := flag.Int("clients", 1000, "closed-loop client population")
+	clients := flag.Int("clients", 1000, "closed-loop client population (ignored with -load/-trace)")
 	duration := flag.Float64("duration", 1200, "profiled window in seconds")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	csv := flag.Bool("csv", false, "emit the headline series as CSV instead of charts")
+	loadName := flag.String("load", "", "open-loop scenario: "+strings.Join(vwchar.LoadScenarioNames(), " | "))
+	rate := flag.Float64("rate", 0, "override the scenario's arrival rate (sessions/s; trace: multiplier)")
+	trace := flag.String("trace", "", "replay an arrival-rate trace from a CSV file (time_seconds,rate)")
 	flag.Parse()
 
-	e, err := vwchar.ParseEnv(*env)
+	cfg, err := buildConfig(*env, *mix, *clients, *duration, *seed, *loadName, *rate, *trace)
 	if err == nil {
-		var m vwchar.MixKind
-		if m, err = vwchar.ParseMix(*mix); err == nil {
-			cfg := vwchar.DefaultConfig(e, m)
-			cfg.Clients = *clients
-			cfg.Duration = sim.Seconds(*duration)
-			cfg.Seed = *seed
-			err = run(cfg, *csv, os.Stdout)
-		}
+		err = run(cfg, *csv, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubisim:", err)
 		os.Exit(1)
 	}
+}
+
+// buildConfig assembles the experiment config from flag values.
+func buildConfig(env, mix string, clients int, duration float64, seed uint64, loadName string, rate float64, trace string) (vwchar.Config, error) {
+	e, err := vwchar.ParseEnv(env)
+	if err != nil {
+		return vwchar.Config{}, err
+	}
+	m, err := vwchar.ParseMix(mix)
+	if err != nil {
+		return vwchar.Config{}, err
+	}
+	cfg := vwchar.DefaultConfig(e, m)
+	cfg.Clients = clients
+	cfg.Duration = sim.Seconds(duration)
+	cfg.Seed = seed
+
+	switch {
+	case trace != "" && loadName != "":
+		return vwchar.Config{}, fmt.Errorf("-load and -trace are mutually exclusive")
+	case trace != "":
+		f, err := os.Open(trace)
+		if err != nil {
+			return vwchar.Config{}, err
+		}
+		defer f.Close()
+		points, err := vwchar.ParseLoadTrace(f)
+		if err != nil {
+			return vwchar.Config{}, err
+		}
+		cfg.Load = &vwchar.LoadSpec{
+			Kind:        vwchar.LoadTrace,
+			Rate:        rate,
+			TracePoints: points,
+			TracePath:   trace,
+		}
+	case loadName != "":
+		spec, err := vwchar.LoadScenario(loadName)
+		if err != nil {
+			return vwchar.Config{}, err
+		}
+		if rate > 0 {
+			spec.Rate = rate
+		}
+		cfg.Load = &spec
+	case rate > 0:
+		return vwchar.Config{}, fmt.Errorf("-rate needs -load or -trace")
+	}
+	return cfg, nil
 }
 
 func run(cfg vwchar.Config, csv bool, w io.Writer) error {
@@ -48,12 +101,21 @@ func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(w, "%s / %s: %d clients, %.0f s, seed %d\n",
-		cfg.Environment, cfg.Mix, cfg.Clients, cfg.Duration.Sec(), cfg.Seed)
+	if cfg.Load != nil {
+		fmt.Fprintf(w, "%s / %s: open-loop %q at %.3g sessions/s, %.0f s, seed %d\n",
+			cfg.Environment, cfg.Mix, cfg.Load.Kind, cfg.Load.MeanRate(), cfg.Duration.Sec(), cfg.Seed)
+	} else {
+		fmt.Fprintf(w, "%s / %s: %d clients, %.0f s, seed %d\n",
+			cfg.Environment, cfg.Mix, cfg.Clients, cfg.Duration.Sec(), cfg.Seed)
+	}
 	fmt.Fprintf(w, "requests: %d completed, %d errors, write fraction %.1f%%\n",
 		res.Completed, res.Errors, res.WriteFraction*100)
 	fmt.Fprintf(w, "response time: mean %.1f ms, p95 %.1f ms\n",
 		res.MeanRespTime*1e3, res.P95RespTime*1e3)
+	if s := res.Sessions; s != nil {
+		fmt.Fprintf(w, "sessions: %d started (%d offered), %d finished, %d abandoned, peak %d concurrent\n",
+			s.Started, s.Offered, s.Finished, s.Abandoned, s.PeakActive)
+	}
 	fmt.Fprintf(w, "web worker-pool growths (RAM jumps): %d\n\n", res.WebGrowths)
 
 	tiers := []string{vwchar.TierWeb, vwchar.TierDB}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -32,5 +34,62 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	cfg.Clients = 0
 	if err := run(cfg, false, &bytes.Buffer{}); err == nil {
 		t.Fatal("zero clients accepted")
+	}
+}
+
+// TestRunSmokeOpenLoop drives the open-loop path: scenario selection,
+// rate override, and the session summary line.
+func TestRunSmokeOpenLoop(t *testing.T) {
+	cfg, err := buildConfig("virtualized", "browsing", 0, 40, 7, "bursty", 2.5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Load == nil || cfg.Load.Rate != 2.5 {
+		t.Fatalf("flag plumbing lost the load spec: %+v", cfg.Load)
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"open-loop", "sessions:", "finished", "webapp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTraceFlag exercises -trace end to end through a temp file.
+func TestRunTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte("0,1\n10,4\n30,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildConfig("virtualized", "browsing", 0, 40, 7, "", 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Load == nil || cfg.Load.Kind != vwchar.LoadTrace || len(cfg.Load.TracePoints) != 3 {
+		t.Fatalf("trace flag plumbing broken: %+v", cfg.Load)
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sessions:") {
+		t.Fatalf("trace run missing session summary:\n%s", buf.String())
+	}
+}
+
+// TestFlagValidation pins the mutually-exclusive and dependent flags.
+func TestFlagValidation(t *testing.T) {
+	if _, err := buildConfig("virtualized", "browsing", 10, 40, 7, "steady", 0, "x.csv"); err == nil {
+		t.Fatal("-load with -trace accepted")
+	}
+	if _, err := buildConfig("virtualized", "browsing", 10, 40, 7, "", 3, ""); err == nil {
+		t.Fatal("-rate without -load accepted")
+	}
+	if _, err := buildConfig("virtualized", "browsing", 10, 40, 7, "zzz", 0, ""); err == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }

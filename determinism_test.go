@@ -66,3 +66,72 @@ func TestFullSweepOutputMatchesGoldenHash(t *testing.T) {
 			got, goldenSweepSHA256, buf.Len())
 	}
 }
+
+// loadScenarioSweepSpec is a reduced open-loop grid: both deployments
+// crossed with every catalog scenario plus an inline trace replay, the
+// per-kind time parameters compressed into the short window.
+func loadScenarioSweepSpec(workers int) vwchar.SweepSpec {
+	mutate := func(c *vwchar.Config) {
+		c.Duration = 40 * sim.Second
+		c.Dataset.Users = 2000
+		c.Dataset.ActiveItems = 600
+		c.Dataset.OldItems = 1300
+		c.Dataset.BufferPages = 500
+		l := c.Load
+		l.RampSeconds = 5
+		switch l.Kind {
+		case vwchar.LoadDiurnal:
+			l.PeriodSeconds = 20
+		case vwchar.LoadSpike:
+			l.SpikeAt, l.SpikeRamp, l.SpikeHold = 10, 4, 10
+		case vwchar.LoadBursty:
+			l.BaseDwell, l.BurstDwell = 10, 4
+		}
+	}
+	scenarios := append(vwchar.LoadScenarios(), vwchar.LoadNamedSpec{
+		Name:    "trace",
+		Summary: "inline trace replay",
+		Spec: vwchar.LoadSpec{
+			Kind:        vwchar.LoadTrace,
+			TracePoints: []vwchar.TracePoint{{TimeSeconds: 0, Rate: 1}, {TimeSeconds: 15, Rate: 4}, {TimeSeconds: 35, Rate: 2}},
+			SessionMean: 6,
+		},
+	})
+	return vwchar.SweepSpec{
+		Points:       vwchar.SweepLoadGrid(vwchar.Envs(), vwchar.MixBrowsing, scenarios, mutate),
+		Replications: 1,
+		RootSeed:     42,
+		Workers:      workers,
+	}
+}
+
+// TestLoadScenarioSweepByteIdenticalAcrossWorkers extends the
+// determinism contract to the open-loop subsystem: every workload
+// scenario — all five arrival families, both deployments — must produce
+// byte-identical aggregated output at workers=1 and workers=8 for a
+// fixed seed, exactly like the paper's closed-loop grid.
+func TestLoadScenarioSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	table := func(workers int) ([]byte, *vwchar.SweepResult) {
+		sr, err := vwchar.Sweep(loadScenarioSweepSpec(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sr.WriteTable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), sr
+	}
+	seq, sr := table(1)
+	par, _ := table(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("open-loop sweep output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	// Every scenario actually ran sessions (the sweep is not vacuous).
+	for i := range sr.Points {
+		pr := &sr.Points[i]
+		if pr.Metric(vwchar.MetricSessionsStarted).Mean <= 0 {
+			t.Fatalf("%s started no sessions", pr.Point.Name)
+		}
+	}
+}

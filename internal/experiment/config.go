@@ -44,8 +44,17 @@ func (c Config) Validate() error {
 	if _, err := ParseMix(string(c.Mix)); err != nil {
 		return err
 	}
-	if c.Clients <= 0 || c.Duration <= 0 {
-		return fmt.Errorf("experiment: need positive clients and duration")
+	if c.Duration <= 0 {
+		return fmt.Errorf("experiment: need positive duration")
+	}
+	if c.Load != nil {
+		// Open-loop runs take their population from the arrival process,
+		// so Clients is ignored rather than validated.
+		if err := c.Load.Validate(); err != nil {
+			return err
+		}
+	} else if c.Clients <= 0 {
+		return fmt.Errorf("experiment: closed-loop runs need positive clients")
 	}
 	if c.Pairs > 5 {
 		return fmt.Errorf("experiment: %d pairs exceed the testbed's ten-VM limit", c.Pairs)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vwchar/internal/hw"
+	"vwchar/internal/load"
 	"vwchar/internal/osmodel"
 	"vwchar/internal/rng"
 	"vwchar/internal/rubis"
@@ -82,6 +83,12 @@ type Config struct {
 	// ten-VM limit. Zero or one means the paper's single-instance setup;
 	// values above one drive the consolidation study. Virtualized only.
 	Pairs int
+	// Load, when non-nil, replaces the paper's closed-loop client
+	// population with the open-loop workload generator the spec
+	// describes (arrival process + session lifecycle); Clients is then
+	// ignored. Nil preserves the paper's fixed-population behaviour
+	// byte for byte.
+	Load *load.Spec
 }
 
 // DefaultConfig returns the paper's experimental setup for env and mix.
@@ -140,6 +147,10 @@ type Result struct {
 
 	// Interactions tallies per type.
 	Interactions map[rubis.Interaction]uint64
+
+	// Sessions is the open-loop session-churn accounting, summed across
+	// co-located instances; nil for closed-loop runs.
+	Sessions *tiers.SessionStats
 }
 
 // CPU returns the per-2s cycle demand series for tier ("webapp",
@@ -173,8 +184,22 @@ func Run(cfg Config) (*Result, error) {
 	var web *tiers.WebAppServer
 	var collector *sysstat.Collector
 	var hv *xen.Hypervisor
-	var drivers []*tiers.Driver
+	var drivers []tiers.LoadGen
 	var app *rubis.App
+
+	// newDriver picks the workload shape: the paper's closed loop when
+	// cfg.Load is nil, the open-loop generator otherwise. Each instance
+	// gets its own arrival process (they are stateful) and RNG source.
+	newDriver := func(app *rubis.App, web *tiers.WebAppServer, src *rng.Source) (tiers.LoadGen, error) {
+		if cfg.Load == nil {
+			return tiers.NewDriver(k, app, model, web, costs, cfg.Clients, src), nil
+		}
+		p, err := tiers.OpenParamsFromSpec(cfg.Load)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: building load spec: %w", err)
+		}
+		return tiers.NewOpenDriver(k, app, model, web, costs, p, src), nil
+	}
 
 	switch cfg.Environment {
 	case Virtualized:
@@ -198,8 +223,10 @@ func Run(cfg Config) (*Result, error) {
 			dbBE := &tiers.VMBackend{HV: hv, Dom: dbDom, Peer: webDom}
 			dbP := tiers.NewDBServer(k, dbBE, appP, tiers.DefaultDBParams("vm"))
 			webP := tiers.NewWebAppServer(k, webBE, dbP, tiers.DefaultWebParams("vm"))
-			drv := tiers.NewDriver(k, appP, model, webP, costs, cfg.Clients,
-				rng.NewSource(cfg.Seed+uint64(p)*7919))
+			drv, err := newDriver(appP, webP, rng.NewSource(cfg.Seed+uint64(p)*7919))
+			if err != nil {
+				return nil, err
+			}
 			drivers = append(drivers, drv)
 			if p == 0 {
 				app = appP
@@ -230,7 +257,11 @@ func Run(cfg Config) (*Result, error) {
 		dbBE := tiers.NewPMBackend(k, dbSrv, webSrv, tiers.DefaultPMParams("db"), src.Stream("pm-db-noise"), dbOS)
 		db := tiers.NewDBServer(k, dbBE, app, tiers.DefaultDBParams("pm"))
 		web = tiers.NewWebAppServer(k, webBE, db, tiers.DefaultWebParams("pm"))
-		drivers = append(drivers, tiers.NewDriver(k, app, model, web, costs, cfg.Clients, src))
+		drv, err := newDriver(app, web, src)
+		if err != nil {
+			return nil, err
+		}
+		drivers = append(drivers, drv)
 
 		collector = sysstat.NewCollector(k, cfg.KeepFullCatalog,
 			sysstat.Target{Name: TierWeb, Snap: pmSnapshot(k, webSrv, webOS)},
@@ -255,13 +286,24 @@ func Run(cfg Config) (*Result, error) {
 	res.Collector = collector
 	primary := drivers[0]
 	for _, drv := range drivers {
-		res.Completed += drv.Completed
-		res.Errors += drv.Errors
+		completed, errors := drv.Totals()
+		res.Completed += completed
+		res.Errors += errors
 		res.PairStats = append(res.PairStats, PairStat{
-			Completed:    drv.Completed,
+			Completed:    completed,
 			MeanRespTime: drv.MeanResponseTime(),
 			P95RespTime:  drv.ResponseTimeQuantile(0.95),
 		})
+		if od, ok := drv.(*tiers.OpenDriver); ok {
+			if res.Sessions == nil {
+				res.Sessions = &tiers.SessionStats{}
+			}
+			res.Sessions.Offered += od.Sessions.Offered
+			res.Sessions.Started += od.Sessions.Started
+			res.Sessions.Finished += od.Sessions.Finished
+			res.Sessions.Abandoned += od.Sessions.Abandoned
+			res.Sessions.PeakActive += od.Sessions.PeakActive
+		}
 	}
 	res.WriteFraction = primary.WriteFraction()
 	res.MeanRespTime = primary.MeanResponseTime()

@@ -1,0 +1,178 @@
+package load
+
+import (
+	"math"
+
+	"vwchar/internal/rng"
+	"vwchar/internal/sim"
+)
+
+// Arrivals is an arrival process over session starts. Implementations
+// are deterministic given the stream and allocation-free in steady
+// state; they may keep internal phase (MMPP state, trace cursor), so
+// one instance drives exactly one driver.
+type Arrivals interface {
+	// Next returns the absolute virtual time of the first arrival
+	// strictly after now, drawing from r. It returns sim.MaxTime when
+	// the process has ended (a trace that decays to zero rate).
+	Next(now sim.Time, r *rng.Stream) sim.Time
+}
+
+// rater is a deterministic intensity function with a finite upper
+// bound; the shared thinning loop turns one into an exact
+// nonhomogeneous Poisson process (Lewis & Shedler).
+type rater interface {
+	// rateAt reports the intensity at t seconds (>= 0, <= maxRate).
+	rateAt(tSec float64) float64
+	// maxRate bounds rateAt over all time (> 0).
+	maxRate() float64
+}
+
+// maxSimSeconds is the largest float64 second count that still converts
+// to a valid sim.Time; beyond it a process reports sim.MaxTime (ended).
+const maxSimSeconds = float64(1 << 62 / int64(sim.Second))
+
+// thinNext draws the next arrival of the nonhomogeneous process f by
+// thinning a homogeneous candidate stream at f.maxRate: each candidate
+// survives with probability rate/max. Exact for deterministic rate
+// functions, allocation-free, and O(max/mean) candidates per arrival.
+func thinNext(f rater, now sim.Time, r *rng.Stream) sim.Time {
+	max := f.maxRate()
+	t := now.Sec()
+	for {
+		t += r.Exp(1 / max)
+		if t >= maxSimSeconds {
+			return sim.MaxTime
+		}
+		if r.Float64()*max <= f.rateAt(t) {
+			return sim.Seconds(t)
+		}
+	}
+}
+
+// PoissonArrivals is a homogeneous Poisson process: independent
+// exponential gaps at the given rate. The memoryless baseline every
+// other shape is measured against (index of dispersion 1).
+type PoissonArrivals struct {
+	// Rate is the intensity in arrivals per second.
+	Rate float64
+}
+
+// Next implements Arrivals.
+func (p *PoissonArrivals) Next(now sim.Time, r *rng.Stream) sim.Time {
+	return clampTime(now.Sec() + r.Exp(1/p.Rate))
+}
+
+// MMPPArrivals is a two-state Markov-modulated Poisson process: a base
+// state emitting at BaseRate and a burst state at BurstRate, with
+// exponentially distributed dwell times. The classic parsimonious model
+// of bursty web traffic — its counts are overdispersed (index of
+// dispersion > 1) while each state stays locally Poisson.
+type MMPPArrivals struct {
+	BaseRate, BurstRate   float64
+	BaseDwell, BurstDwell float64 // mean seconds per visit
+
+	// burst and switchAt are the modulating chain's current phase;
+	// started lazily so the zero value begins in the base state at the
+	// first call.
+	burst    bool
+	switchAt sim.Time
+	started  bool
+}
+
+// Next implements Arrivals. Because both the emission and dwell
+// distributions are exponential, the process restarts memorylessly at
+// every state switch: draw a gap at the current state's rate, and when
+// it overshoots the switch time, advance to the switch and redraw.
+func (m *MMPPArrivals) Next(now sim.Time, r *rng.Stream) sim.Time {
+	if !m.started {
+		m.started = true
+		m.switchAt = clampTime(now.Sec() + r.Exp(m.BaseDwell))
+	}
+	for {
+		rate := m.BaseRate
+		dwellNext := m.BurstDwell
+		if m.burst {
+			rate = m.BurstRate
+			dwellNext = m.BaseDwell
+		}
+		t := clampTime(now.Sec() + r.Exp(1/rate))
+		if t >= sim.MaxTime {
+			return sim.MaxTime
+		}
+		if t < m.switchAt {
+			return t
+		}
+		now = m.switchAt
+		m.burst = !m.burst
+		m.switchAt = clampTime(now.Sec() + r.Exp(dwellNext))
+	}
+}
+
+// clampTime converts seconds to sim.Time, saturating at MaxTime so
+// extreme (but valid) dwell or gap draws cannot overflow into negative
+// timestamps.
+func clampTime(tSec float64) sim.Time {
+	if tSec >= maxSimSeconds {
+		return sim.MaxTime
+	}
+	return sim.Seconds(tSec)
+}
+
+// DiurnalArrivals modulates a base rate sinusoidally:
+//
+//	rate(t) = Rate * (1 + Amplitude*sin(2*pi*t/Period))
+//
+// a compressed day/night cycle. Over any whole number of periods the
+// integrated intensity is exactly Rate*t, so whole-period counts are
+// Poisson with mean Rate*Period — the closed form the tests pin.
+type DiurnalArrivals struct {
+	Rate      float64
+	Amplitude float64 // in [0,1)
+	Period    float64 // seconds
+}
+
+func (d *DiurnalArrivals) rateAt(t float64) float64 {
+	return d.Rate * (1 + d.Amplitude*math.Sin(2*math.Pi*t/d.Period))
+}
+
+func (d *DiurnalArrivals) maxRate() float64 { return d.Rate * (1 + d.Amplitude) }
+
+// Next implements Arrivals.
+func (d *DiurnalArrivals) Next(now sim.Time, r *rng.Stream) sim.Time {
+	return thinNext(d, now, r)
+}
+
+// SpikeArrivals is a flash crowd: base rate, then at time At a linear
+// ramp over Ramp seconds up to Rate*Factor, held for Hold seconds, and
+// ramped back down — the trapezoid profile of a link-driven crowd.
+type SpikeArrivals struct {
+	Rate   float64
+	Factor float64 // peak multiplier, > 1
+	At     float64 // spike start, seconds
+	Ramp   float64 // ramp up/down duration, seconds
+	Hold   float64 // plateau duration, seconds
+}
+
+func (s *SpikeArrivals) rateAt(t float64) float64 {
+	peak := s.Rate * s.Factor
+	switch {
+	case t < s.At:
+		return s.Rate
+	case s.Ramp > 0 && t < s.At+s.Ramp:
+		return s.Rate + (peak-s.Rate)*(t-s.At)/s.Ramp
+	case t < s.At+s.Ramp+s.Hold:
+		return peak
+	case s.Ramp > 0 && t < s.At+2*s.Ramp+s.Hold:
+		return peak - (peak-s.Rate)*(t-s.At-s.Ramp-s.Hold)/s.Ramp
+	default:
+		return s.Rate
+	}
+}
+
+func (s *SpikeArrivals) maxRate() float64 { return s.Rate * s.Factor }
+
+// Next implements Arrivals.
+func (s *SpikeArrivals) Next(now sim.Time, r *rng.Stream) sim.Time {
+	return thinNext(s, now, r)
+}

@@ -1,0 +1,326 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"vwchar/internal/rng"
+	"vwchar/internal/sim"
+)
+
+// windowCounts drives arr over total seconds and returns per-window
+// arrival counts (window seconds each).
+func windowCounts(t *testing.T, arr Arrivals, stream *rng.Stream, total, window float64) []int {
+	t.Helper()
+	n := int(total / window)
+	counts := make([]int, n)
+	now := sim.Time(0)
+	for {
+		now = arr.Next(now, stream)
+		if now >= sim.MaxTime || now.Sec() >= total {
+			return counts
+		}
+		counts[int(now.Sec()/window)]++
+	}
+}
+
+// meanVar returns the sample mean and (unbiased) variance of counts.
+func meanVar(counts []int) (mean, variance float64) {
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - mean
+		variance += d * d
+	}
+	variance /= float64(len(counts) - 1)
+	return mean, variance
+}
+
+// TestPoissonMeanAndDispersion pins the homogeneous baseline against
+// its closed forms: window counts have mean rate*window and index of
+// dispersion 1.
+func TestPoissonMeanAndDispersion(t *testing.T) {
+	const (
+		rate   = 2.0
+		total  = 40000.0
+		window = 20.0
+	)
+	arr := &PoissonArrivals{Rate: rate}
+	counts := windowCounts(t, arr, rng.NewSource(7).Stream("poisson"), total, window)
+	mean, variance := meanVar(counts)
+	if want := rate * window; math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("mean count = %v, want %v +-5%%", mean, want)
+	}
+	if iod := variance / mean; iod < 0.85 || iod > 1.15 {
+		t.Fatalf("index of dispersion = %v, want ~1", iod)
+	}
+}
+
+// TestMMPPMeanAndDispersion checks the two-state MMPP against its
+// closed forms: the stationary mean rate and the asymptotic index of
+// dispersion of counts (Fischer & Meier-Hellstern),
+//
+//	IDC = 1 + 2*s1*s2*(l1-l2)^2 / ((s1+s2)^2 * (s2*l1 + s1*l2))
+//
+// where l1,l2 are the state emission rates and s1,s2 the switching
+// rates out of each state.
+func TestMMPPMeanAndDispersion(t *testing.T) {
+	const (
+		base       = 0.5
+		factor     = 4.0
+		baseDwell  = 20.0
+		burstDwell = 10.0
+		total      = 300000.0
+		window     = 500.0 // >> the chain's ~6.7 s correlation time
+	)
+	spec := Spec{Kind: Bursty, Rate: base, BurstFactor: factor, BaseDwell: baseDwell, BurstDwell: burstDwell}
+	arr, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := windowCounts(t, arr, rng.NewSource(11).Stream("mmpp"), total, window)
+	mean, variance := meanVar(counts)
+
+	l1, l2 := base, base*factor
+	s1, s2 := 1/baseDwell, 1/burstDwell
+	wantRate := spec.MeanRate()
+	if pi := s1 / (s1 + s2); math.Abs(wantRate-((1-pi)*l1+pi*l2)) > 1e-12 {
+		t.Fatalf("MeanRate() = %v disagrees with the stationary mix", wantRate)
+	}
+	if got := mean / window; math.Abs(got-wantRate) > 0.08*wantRate {
+		t.Fatalf("empirical rate = %v, want %v +-8%%", got, wantRate)
+	}
+	wantIDC := 1 + 2*s1*s2*(l1-l2)*(l1-l2)/((s1+s2)*(s1+s2)*(s2*l1+s1*l2))
+	if iod := variance / mean; iod < 0.7*wantIDC || iod > 1.3*wantIDC {
+		t.Fatalf("index of dispersion = %v, want %v +-30%% (closed form)", iod, wantIDC)
+	}
+}
+
+// TestDiurnalDispersion pins the sinusoidal modulation's two closed
+// forms: whole-period counts are exactly Poisson (the sinusoid
+// integrates to zero over a period, so IoD ~ 1 at mean rate*period),
+// while sub-period bins mix phases and must be overdispersed.
+func TestDiurnalDispersion(t *testing.T) {
+	const (
+		rate      = 2.0
+		amplitude = 0.6
+		period    = 120.0
+		total     = 60000.0
+	)
+	spec := Spec{Kind: Diurnal, Rate: rate, Amplitude: amplitude, PeriodSeconds: period}
+	arr, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := windowCounts(t, arr, rng.NewSource(13).Stream("diurnal"), total, period)
+	mean, variance := meanVar(full)
+	if want := rate * period; math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("whole-period mean = %v, want %v +-5%%", mean, want)
+	}
+	if iod := variance / mean; iod < 0.8 || iod > 1.2 {
+		t.Fatalf("whole-period IoD = %v, want ~1 (periods are phase-complete)", iod)
+	}
+
+	arr2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := windowCounts(t, arr2, rng.NewSource(13).Stream("diurnal"), total, period/4)
+	qmean, qvar := meanVar(quarter)
+	if iod := qvar / qmean; iod < 1.3 {
+		t.Fatalf("quarter-period IoD = %v, want > 1.3 (phase mixing overdisperses)", iod)
+	}
+}
+
+// TestSpikeProfile checks the flash-crowd trapezoid: pre-spike windows
+// run at the base rate, the plateau at factor times it.
+func TestSpikeProfile(t *testing.T) {
+	spec := Spec{Kind: Spike, Rate: 2, SpikeFactor: 6, SpikeAt: 400, SpikeRamp: 50, SpikeHold: 300}
+	arr, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.NewSource(17).Stream("spike")
+	var pre, plateau int
+	now := sim.Time(0)
+	for {
+		now = arr.Next(now, stream)
+		s := now.Sec()
+		if s >= 750 {
+			break
+		}
+		switch {
+		case s < 400:
+			pre++
+		case s >= 450:
+			plateau++
+		}
+	}
+	preRate := float64(pre) / 400
+	plateauRate := float64(plateau) / 300
+	if math.Abs(preRate-2) > 0.2 {
+		t.Fatalf("pre-spike rate = %v, want ~2", preRate)
+	}
+	if math.Abs(plateauRate-12) > 1.2 {
+		t.Fatalf("plateau rate = %v, want ~12", plateauRate)
+	}
+}
+
+// TestArrivalsDeterministic pins the per-stream-seeded determinism
+// contract: identical (spec, seed) pairs produce identical arrival
+// sequences, for every kind.
+func TestArrivalsDeterministic(t *testing.T) {
+	specs := []Spec{
+		{Kind: Poisson, Rate: 3},
+		{Kind: Bursty, Rate: 2, BurstFactor: 5, BaseDwell: 30, BurstDwell: 10},
+		{Kind: Diurnal, Rate: 3, Amplitude: 0.5, PeriodSeconds: 60},
+		{Kind: Spike, Rate: 2, SpikeFactor: 4, SpikeAt: 20, SpikeRamp: 5, SpikeHold: 30},
+		{Kind: Trace, TracePoints: []TracePoint{{0, 1}, {30, 5}, {60, 2}}},
+	}
+	for _, spec := range specs {
+		seq := func() []sim.Time {
+			arr, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := rng.NewSource(23).Stream("arr")
+			var out []sim.Time
+			now := sim.Time(0)
+			for i := 0; i < 500; i++ {
+				now = arr.Next(now, stream)
+				if now >= sim.MaxTime {
+					break
+				}
+				out = append(out, now)
+			}
+			return out
+		}
+		a, b := seq(), seq()
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", spec.Kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs: %v vs %v", spec.Kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTraceInterpolation pins the replay's edge cases: hold before the
+// first knot, linear interpolation between knots, hold after the last,
+// single-point traces, and the rate multiplier.
+func TestTraceInterpolation(t *testing.T) {
+	ta, err := NewTraceArrivals([]TracePoint{{10, 2}, {20, 6}, {40, 0}, {50, 4}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 2},    // before first knot: first rate holds
+		{10, 2},   // exactly at a knot
+		{15, 4},   // linear midpoint
+		{20, 6},   // knot value
+		{30, 3},   // midpoint of a falling segment
+		{40, 0},   // knot can be zero mid-trace
+		{45, 2},   // rises out of the zero knot
+		{50, 4},   // last knot
+		{1000, 4}, // after last knot: last rate holds
+	}
+	for _, c := range cases {
+		if got := ta.RateAt(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("RateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Rewinding the cursor still answers correctly (cursor cache reset).
+	if got := ta.RateAt(15); got != 4 {
+		t.Fatalf("RateAt(15) after forward scan = %v, want 4", got)
+	}
+
+	scaled, err := NewTraceArrivals([]TracePoint{{0, 2}, {10, 4}}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.RateAt(5); math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("scaled RateAt(5) = %v, want 7.5", got)
+	}
+
+	single, err := NewTraceArrivals([]TracePoint{{5, 3}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 5, 100} {
+		if got := single.RateAt(x); got != 3 {
+			t.Fatalf("single-point RateAt(%v) = %v, want 3", x, got)
+		}
+	}
+}
+
+// TestTraceZeroTailEnds pins that a trace decaying to rate zero ends
+// the process instead of spinning on rejected thinning candidates.
+func TestTraceZeroTailEnds(t *testing.T) {
+	ta, err := NewTraceArrivals([]TracePoint{{0, 5}, {20, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.NewSource(31).Stream("tail")
+	now := sim.Time(0)
+	n := 0
+	for {
+		now = ta.Next(now, stream)
+		if now >= sim.MaxTime {
+			break
+		}
+		if now.Sec() > 20 {
+			t.Fatalf("arrival at %v after the trace hit zero", now)
+		}
+		n++
+		if n > 10000 {
+			t.Fatal("trace with zero tail never ended")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no arrivals before the zero tail")
+	}
+	// Once ended, it stays ended.
+	if got := ta.Next(30*sim.Second, stream); got < sim.MaxTime {
+		t.Fatalf("Next after end = %v, want MaxTime", got)
+	}
+}
+
+// TestTraceValidation covers the malformed-trace rejections.
+func TestTraceValidation(t *testing.T) {
+	bad := [][]TracePoint{
+		nil,                // empty
+		{{0, 1}, {0, 2}},   // non-increasing time
+		{{5, 2}, {3, 1}},   // decreasing time
+		{{0, -1}, {10, 2}}, // negative rate
+		{{-5, 1}, {10, 2}}, // negative time
+		{{0, 0}, {10, 0}},  // all-zero
+	}
+	for i, pts := range bad {
+		if _, err := NewTraceArrivals(pts, 0); err == nil {
+			t.Fatalf("case %d: trace %v should be rejected", i, pts)
+		}
+	}
+}
+
+// TestExtremeRatesSaturateInsteadOfOverflow pins that validly tiny
+// rates (gap draws beyond the representable sim horizon) end the
+// process instead of overflowing into negative timestamps.
+func TestExtremeRatesSaturateInsteadOfOverflow(t *testing.T) {
+	stream := rng.NewSource(41).Stream("overflow")
+	p := &PoissonArrivals{Rate: 1e-15}
+	for i := 0; i < 50; i++ {
+		if got := p.Next(0, stream); got < 0 {
+			t.Fatalf("Poisson overflowed to %v", got)
+		}
+	}
+	m := &MMPPArrivals{BaseRate: 1e-15, BurstRate: 2e-15, BaseDwell: 1e15, BurstDwell: 1e15}
+	for i := 0; i < 50; i++ {
+		if got := m.Next(0, stream); got < 0 {
+			t.Fatalf("MMPP overflowed to %v", got)
+		}
+	}
+}

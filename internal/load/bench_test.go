@@ -1,0 +1,121 @@
+package load
+
+import (
+	"testing"
+
+	"vwchar/internal/rng"
+	"vwchar/internal/sim"
+)
+
+// benchSpecs are one representative spec per arrival family (trace
+// included via an inline, never-ending profile).
+func benchSpecs() []Spec {
+	return []Spec{
+		{Kind: Poisson, Rate: 5},
+		{Kind: Bursty, Rate: 3, BurstFactor: 6, BaseDwell: 60, BurstDwell: 15},
+		{Kind: Diurnal, Rate: 5, Amplitude: 0.6, PeriodSeconds: 300},
+		{Kind: Spike, Rate: 3, SpikeFactor: 8, SpikeAt: 100, SpikeRamp: 20, SpikeHold: 60},
+		{Kind: Trace, TracePoints: []TracePoint{{0, 2}, {60, 8}, {120, 3}, {300, 5}}},
+	}
+}
+
+// TestArrivalSchedulingZeroAlloc is the allocation gate on the open-loop
+// driver's steady-state arrival scheduling: the exact re-arm loop the
+// driver runs — Arrivals.Next plus a pooled-kernel AtCall — must not
+// allocate, for every arrival family. The kernel event pool is warmed
+// by the first firing (the sim package's own guards cover pool
+// steady-state); here the measured window starts after one firing.
+func TestArrivalSchedulingZeroAlloc(t *testing.T) {
+	for _, spec := range benchSpecs() {
+		spec := spec
+		t.Run(string(spec.Kind), func(t *testing.T) {
+			arr, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := sim.NewKernel()
+			stream := rng.NewSource(3).Stream("alloc-guard")
+			fires := 0
+			var rearm sim.Callback
+			rearm = func(any) {
+				fires++
+				if next := arr.Next(k.Now(), stream); next < sim.MaxTime {
+					k.AtCall(next, rearm, nil)
+				}
+			}
+			// Warm: one arm+fire round trip fills the event pool.
+			k.AtCall(arr.Next(0, stream), rearm, nil)
+			if !k.Step() {
+				t.Fatal("no first arrival")
+			}
+			allocs := testing.AllocsPerRun(2000, func() {
+				if !k.Step() {
+					t.Fatal("arrival loop drained")
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state arrival scheduling allocates %v allocs/op, want 0", allocs)
+			}
+			if fires < 2000 {
+				t.Fatalf("only %d arrivals fired", fires)
+			}
+		})
+	}
+}
+
+// BenchmarkArrivalSchedule measures the steady-state arrival re-arm
+// loop (Next + AtCall on the pooled kernel) across all five families;
+// CI gates its allocs/op at zero alongside the sim ticker gate.
+func BenchmarkArrivalSchedule(b *testing.B) {
+	specs := benchSpecs()
+	arrs := make([]Arrivals, len(specs))
+	for i, s := range specs {
+		a, err := s.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrs[i] = a
+	}
+	k := sim.NewKernel()
+	stream := rng.NewSource(5).Stream("bench")
+	for _, arr := range arrs {
+		arr := arr
+		var rearm sim.Callback
+		rearm = func(any) {
+			if next := arr.Next(k.Now(), stream); next < sim.MaxTime {
+				k.AtCall(next, rearm, nil)
+			}
+		}
+		k.AtCall(arr.Next(0, stream), rearm, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.Step() {
+			b.Fatal("arrival loop drained")
+		}
+	}
+}
+
+// BenchmarkArrivalsNext isolates the draw itself per family.
+func BenchmarkArrivalsNext(b *testing.B) {
+	for _, spec := range benchSpecs() {
+		spec := spec
+		b.Run(string(spec.Kind), func(b *testing.B) {
+			arr, err := spec.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := rng.NewSource(9).Stream("next")
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = arr.Next(now, stream)
+				if now >= sim.MaxTime {
+					b.Fatal("process ended")
+				}
+			}
+		})
+	}
+}

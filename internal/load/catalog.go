@@ -1,0 +1,99 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NamedSpec is one catalog entry: a ready-to-run workload scenario.
+type NamedSpec struct {
+	Name string
+	// Summary is a one-line description for CLI help and docs.
+	Summary string
+	Spec    Spec
+}
+
+// catalog lists the built-in open-loop scenarios. Rates are modest
+// defaults sized so a scaled experiment saturates nothing; sweeps and
+// the -rate flag scale them. Trace has no entry — it needs a file (see
+// ParseTrace) — but cmd/rubisim builds one from -trace.
+var catalog = []NamedSpec{
+	{
+		Name:    "steady",
+		Summary: "homogeneous Poisson arrivals at the base rate",
+		Spec: Spec{
+			Kind:        Poisson,
+			Rate:        2,
+			SessionMean: 10,
+			RampSeconds: 30,
+		},
+	},
+	{
+		Name:    "bursty",
+		Summary: "two-state MMPP: 6x bursts of ~20 s every ~2 min",
+		Spec: Spec{
+			Kind:        Bursty,
+			Rate:        1.5,
+			BurstFactor: 6,
+			BaseDwell:   120,
+			BurstDwell:  20,
+			SessionMean: 10,
+			RampSeconds: 30,
+		},
+	},
+	{
+		Name:    "diurnal",
+		Summary: "sinusoidal day/night cycle compressed to 10 min",
+		Spec: Spec{
+			Kind:          Diurnal,
+			Rate:          2,
+			Amplitude:     0.6,
+			PeriodSeconds: 600,
+			SessionMean:   10,
+			RampSeconds:   30,
+		},
+	},
+	{
+		Name:    "flash-crowd",
+		Summary: "8x spike at t=300 s (30 s ramp, 120 s hold), 5 s abandon SLO",
+		Spec: Spec{
+			Kind:                Spike,
+			Rate:                1.5,
+			SpikeFactor:         8,
+			SpikeAt:             300,
+			SpikeRamp:           30,
+			SpikeHold:           120,
+			SessionMean:         10,
+			AbandonAfterSeconds: 5,
+			RampSeconds:         30,
+		},
+	},
+}
+
+// Scenarios returns the built-in scenario catalog in presentation
+// order. The slice and its specs are copies; callers may mutate freely.
+func Scenarios() []NamedSpec {
+	out := make([]NamedSpec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// ScenarioNames lists the catalog names, sorted.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(catalog))
+	for _, s := range catalog {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenario returns the named built-in scenario.
+func Scenario(name string) (Spec, error) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s.Spec, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("load: unknown scenario %q (have %v)", name, ScenarioNames())
+}

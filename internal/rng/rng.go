@@ -135,6 +135,25 @@ func (s *Stream) Pareto(xm, alpha float64) float64 {
 // Bernoulli returns true with probability p.
 func (s *Stream) Bernoulli(p float64) bool { return s.r.Float64() < p }
 
+// Geometric returns a draw from the geometric distribution on {1,2,...}
+// with the given mean: the trial count up to and including the first
+// success at p = 1/mean, via the inverse CDF (one uniform per draw).
+// Means at or below one degenerate to the constant 1.
+func (s *Stream) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	n := int(math.Ceil(math.Log(u) / math.Log(1-1/mean)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Poisson returns a Poisson draw with the given mean (Knuth's method for
 // small means, normal approximation above 30).
 func (s *Stream) Poisson(mean float64) int {

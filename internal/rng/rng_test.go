@@ -234,3 +234,28 @@ func TestPropertySubstreamStability(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGeometricMean(t *testing.T) {
+	s := NewSource(1).Stream("geom")
+	for _, mean := range []float64{1, 2.5, 10} {
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			d := s.Geometric(mean)
+			if d < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", mean, d)
+			}
+			sum += float64(d)
+		}
+		got := sum / n
+		if got < 0.97*mean || got > 1.03*mean {
+			t.Fatalf("Geometric(%v) empirical mean = %v", mean, got)
+		}
+	}
+	// Degenerate means are the constant 1.
+	for i := 0; i < 100; i++ {
+		if d := s.Geometric(0.5); d != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", d)
+		}
+	}
+}

@@ -198,23 +198,64 @@ func paddedName(prefix string, i, width int) string {
 	return string(buf)
 }
 
+// intBoxes caches boxed int64 values for the dense id ranges the
+// dataset generators emit. Every int64 column in a Row is an `any`, so
+// naive row building boxes each value through runtime.convT64 — ~10% of
+// a sweep's CPU, since population runs per replication. Ids, foreign
+// keys, and small draws are all dense non-negative ranges, so one
+// grow-on-demand box table serves them all; values outside the cap fall
+// back to ordinary boxing.
+type intBoxes []any
+
+// populateBoxCap bounds the cache; sequential bid/comment ids are the
+// largest dense range (tens of thousands at default scale).
+const populateBoxCap = 1 << 20
+
+// newIntBoxes pre-fills boxes for [0, n).
+func newIntBoxes(n int) intBoxes {
+	b := make(intBoxes, n)
+	for i := range b {
+		b[i] = int64(i)
+	}
+	return b
+}
+
+// v returns a cached box for v, extending the cache for sequentially
+// growing id ranges.
+func (b *intBoxes) v(v int64) any {
+	if v < 0 || v >= populateBoxCap {
+		return v
+	}
+	for int64(len(*b)) <= v {
+		*b = append(*b, int64(len(*b)))
+	}
+	return (*b)[v]
+}
+
+// i boxes an int draw.
+func (b *intBoxes) i(v int) any { return b.v(int64(v)) }
+
 // populate loads the dataset through the engine's sorted bulk path:
 // every table's rows are generated in primary-key order (the RNG draw
 // sequence is identical to row-at-a-time insertion), appended to the
 // heap once, and indexed via the B+tree bulk loader — instead of ~60k
 // one-at-a-time Insert descents at the start of every replication.
+// Int64 values go through the intBoxes cache, so row building does not
+// re-box the same dense ids replication after replication.
 func (a *App) populate(r *rng.Stream) error {
 	cfg := a.Config
+	totalItems := cfg.ActiveItems + cfg.OldItems
+	box := newIntBoxes(max(cfg.Users, totalItems))
 	rows := make([]rubisdb.Row, 0, cfg.Regions)
 	for i := 0; i < cfg.Regions; i++ {
-		rows = append(rows, rubisdb.Row{int64(i), paddedName("region-", i, 2)})
+		rows = append(rows, rubisdb.Row{box.i(i), paddedName("region-", i, 2)})
 	}
 	if err := a.regions.BulkInsert(rows); err != nil {
 		return err
 	}
 	rows = make([]rubisdb.Row, 0, cfg.Categories)
 	for i := 0; i < cfg.Categories; i++ {
-		rows = append(rows, rubisdb.Row{int64(i), paddedName("category-", i, 2)})
+		rows = append(rows, rubisdb.Row{box.i(i), paddedName("category-", i, 2)})
 	}
 	if err := a.categories.BulkInsert(rows); err != nil {
 		return err
@@ -222,10 +263,10 @@ func (a *App) populate(r *rng.Stream) error {
 	rows = make([]rubisdb.Row, 0, cfg.Users)
 	for i := 0; i < cfg.Users; i++ {
 		rows = append(rows, rubisdb.Row{
-			int64(i),
+			box.i(i),
 			paddedName("user", i, 6),
-			int64(r.Intn(cfg.Regions)),
-			int64(r.Intn(10)),
+			box.i(r.Intn(cfg.Regions)),
+			box.i(r.Intn(10)),
 			r.Uniform(0, 1000),
 		})
 	}
@@ -234,22 +275,21 @@ func (a *App) populate(r *rng.Stream) error {
 	}
 	a.nextUserID = int64(cfg.Users)
 
-	totalItems := cfg.ActiveItems + cfg.OldItems
 	rows = make([]rubisdb.Row, 0, totalItems)
 	for i := 0; i < totalItems; i++ {
 		price := r.Uniform(1, 500)
 		rows = append(rows, rubisdb.Row{
-			int64(i),
+			box.i(i),
 			paddedName("item-", i, 6),
 			itemDescription,
-			int64(r.Intn(cfg.Users)),
-			int64(r.Intn(cfg.Categories)),
+			box.i(r.Intn(cfg.Users)),
+			box.i(r.Intn(cfg.Categories)),
 			price,
 			price,
-			int64(0),
-			int64(1 + r.Intn(5)),
+			box.i(0),
+			box.i(1 + r.Intn(5)),
 			price * 1.6,
-			int64(i % 2), // half "ended", half active (end_date flag)
+			box.i(i % 2), // half "ended", half active (end_date flag)
 		})
 	}
 	if err := a.items.BulkInsert(rows); err != nil {
@@ -263,12 +303,12 @@ func (a *App) populate(r *rng.Stream) error {
 		n := r.Poisson(float64(cfg.BidsPerItem))
 		for b := 0; b < n; b++ {
 			rows = append(rows, rubisdb.Row{
-				bidID,
-				int64(r.Intn(cfg.Users)),
-				int64(i),
-				int64(1),
+				box.v(bidID),
+				box.i(r.Intn(cfg.Users)),
+				box.i(i),
+				box.i(1),
 				r.Uniform(1, 800),
-				int64(b),
+				box.i(b),
 			})
 			bidID++
 		}
@@ -284,11 +324,11 @@ func (a *App) populate(r *rng.Stream) error {
 		n := r.Poisson(float64(cfg.CommentsPerUser))
 		for c := 0; c < n; c++ {
 			rows = append(rows, rubisdb.Row{
-				commentID,
-				int64(r.Intn(cfg.Users)),
-				int64(u),
-				int64(r.Intn(totalItems)),
-				int64(r.Intn(10)),
+				box.v(commentID),
+				box.i(r.Intn(cfg.Users)),
+				box.i(u),
+				box.i(r.Intn(totalItems)),
+				box.i(r.Intn(10)),
 				"Great seller, fast shipping, item exactly as described.",
 			})
 			commentID++

@@ -21,6 +21,18 @@ type WAL struct {
 // walFrameOverhead is the per-record framing: lsn + length + checksum.
 const walFrameOverhead = 8 + 4 + 4
 
+// walRecordHeader is the typed-record header: table id + op code.
+const walRecordHeader = 4 + 1
+
+// Batched records extend the header with a row count, and every row
+// image inside the batch carries a u16 length prefix so recovery can
+// split the payload back into the exact per-row images a row-at-a-time
+// log would have carried.
+const (
+	walBatchHeader    = walRecordHeader + 4
+	walBatchRowPrefix = 2
+)
+
 // NewWAL builds a log metering into meter with a 32 KB group-commit
 // threshold.
 func NewWAL(meter *Meter) *WAL {
@@ -39,7 +51,17 @@ func (w *WAL) Append(payload []byte) uint64 {
 // payload — so framing is pure size arithmetic and the image is not
 // copied.
 func (w *WAL) AppendRecord(table uint32, op byte, image []byte) uint64 {
-	return w.appendSized(5 + len(image))
+	return w.appendSized(walRecordHeader + len(image))
+}
+
+// AppendBatchRecord frames one record covering rows row images that
+// total imageBytes: header, row count, then each image with its length
+// prefix. Bulk loads log one batch per heap page instead of one record
+// per row (the LOAD DATA shape), which drops the per-row frame+header
+// overhead while the logged images stay byte-equivalent to per-row
+// framing — the recovery-equivalence property the tests pin.
+func (w *WAL) AppendBatchRecord(table uint32, op byte, rows, imageBytes int) uint64 {
+	return w.appendSized(walBatchHeader + rows*walBatchRowPrefix + imageBytes)
 }
 
 // appendSized appends a record of the given framed length.

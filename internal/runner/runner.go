@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"vwchar/internal/experiment"
+	"vwchar/internal/load"
 	"vwchar/internal/rng"
 	"vwchar/internal/stats"
 )
@@ -57,6 +58,41 @@ func Grid(envs []experiment.Env, mixes []experiment.MixKind, mutate func(*experi
 // all five request compositions.
 func FullGrid(mutate func(*experiment.Config)) []Point {
 	return Grid(experiment.Envs(), experiment.Mixes(), mutate)
+}
+
+// LoadGrid builds the env × load-scenario cartesian product at a fixed
+// mix: the open-loop analogue of Grid. Every point carries its own copy
+// of the scenario spec, so mutate (and later sweeps) can adjust rates
+// point-locally without aliasing the catalog.
+func LoadGrid(envs []experiment.Env, mix experiment.MixKind, scenarios []load.NamedSpec, mutate func(*experiment.Config)) []Point {
+	points := make([]Point, 0, len(envs)*len(scenarios))
+	for _, env := range envs {
+		for _, sc := range scenarios {
+			cfg := experiment.DefaultConfig(env, mix)
+			spec := sc.Spec
+			// Deep-copy the trace so a mutate that rescales knots
+			// point-locally cannot write through a backing array shared
+			// with other points or the caller's scenario.
+			if len(spec.TracePoints) > 0 {
+				spec.TracePoints = append([]load.TracePoint(nil), spec.TracePoints...)
+			}
+			cfg.Load = &spec
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			points = append(points, Point{
+				Name:   fmt.Sprintf("%s/%s/%s", env, mix, sc.Name),
+				Config: cfg,
+			})
+		}
+	}
+	return points
+}
+
+// FullLoadGrid crosses both deployments with every catalog scenario at
+// the given mix.
+func FullLoadGrid(mix experiment.MixKind, mutate func(*experiment.Config)) []Point {
+	return LoadGrid(experiment.Envs(), mix, load.Scenarios(), mutate)
 }
 
 // Progress reports one completed (or failed) job. Callbacks arrive from
@@ -283,6 +319,16 @@ const (
 	MetricErrors     = "errors"
 )
 
+// Session metrics reported only by open-loop runs (Config.Load set);
+// closed-loop points omit them, keeping the paper sweep's output bytes
+// untouched.
+const (
+	MetricSessionsStarted   = "sessions_started"
+	MetricSessionsFinished  = "sessions_finished"
+	MetricSessionsAbandoned = "sessions_abandoned"
+	MetricSessionsPeak      = "sessions_peak"
+)
+
 // MetricCPU, MetricMem, MetricDisk and MetricNet name the per-tier
 // aggregates; use these instead of hand-concatenating metric names so a
 // typo is a compile-time symbol error, not a silent zero Metric.
@@ -305,6 +351,14 @@ func scalars(r *experiment.Result) []NamedMetric {
 		{MetricRespMean, Metric{Mean: r.MeanRespTime * 1e3}},
 		{MetricRespP95, Metric{Mean: r.P95RespTime * 1e3}},
 		{MetricErrors, Metric{Mean: float64(r.Errors)}},
+	}
+	if r.Sessions != nil {
+		out = append(out,
+			NamedMetric{MetricSessionsStarted, Metric{Mean: float64(r.Sessions.Started)}},
+			NamedMetric{MetricSessionsFinished, Metric{Mean: float64(r.Sessions.Finished)}},
+			NamedMetric{MetricSessionsAbandoned, Metric{Mean: float64(r.Sessions.Abandoned)}},
+			NamedMetric{MetricSessionsPeak, Metric{Mean: float64(r.Sessions.PeakActive)}},
+		)
 	}
 	for _, tier := range []string{experiment.TierWeb, experiment.TierDB, experiment.TierDom0} {
 		if r.CPU(tier) == nil {

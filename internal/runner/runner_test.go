@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"vwchar/internal/experiment"
+	"vwchar/internal/load"
 	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
 )
@@ -264,5 +265,82 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := experiment.ParseConfig([]byte(`{"Environment":"vax"}`)); err == nil {
 		t.Fatal("invalid config parsed successfully")
+	}
+}
+
+// tinyLoadMutate scales a load-grid config down to test size, including
+// the per-kind time parameters so every scenario exercises its shape
+// inside the short window.
+func tinyLoadMutate(c *experiment.Config) {
+	tiny := tinyConfig(c.Environment, c.Mix)
+	c.Clients = tiny.Clients
+	c.Duration = tiny.Duration
+	c.Dataset = tiny.Dataset
+	l := c.Load
+	l.RampSeconds = 5
+	switch l.Kind {
+	case load.Diurnal:
+		l.PeriodSeconds = 20
+	case load.Spike:
+		l.SpikeAt, l.SpikeRamp, l.SpikeHold = 10, 4, 10
+	case load.Bursty:
+		l.BaseDwell, l.BurstDwell = 10, 4
+	}
+}
+
+// TestLoadGridShape pins the open-loop grid construction: one point per
+// env x scenario, per-point spec copies (no catalog aliasing), and
+// names unique enough for the runner's duplicate check.
+func TestLoadGridShape(t *testing.T) {
+	points := FullLoadGrid(experiment.MixBrowsing, tinyLoadMutate)
+	want := len(experiment.Envs()) * len(load.Scenarios())
+	if len(points) != want {
+		t.Fatalf("load grid has %d points, want %d", len(points), want)
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if seen[p.Name] {
+			t.Fatalf("duplicate point name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Config.Load == nil {
+			t.Fatalf("point %q lost its load spec", p.Name)
+		}
+		if err := p.Config.Validate(); err != nil {
+			t.Fatalf("point %q invalid: %v", p.Name, err)
+		}
+	}
+	// The mutate wrote through per-point copies, not the shared catalog.
+	for _, sc := range load.Scenarios() {
+		if sc.Spec.RampSeconds == 5 {
+			t.Fatalf("mutate leaked into the catalog: %+v", sc)
+		}
+	}
+}
+
+// TestLoadSweepReportsSessionMetrics runs a small open-loop sweep and
+// checks the session metrics surface through aggregation while
+// closed-loop points keep their original metric set.
+func TestLoadSweepReportsSessionMetrics(t *testing.T) {
+	points := LoadGrid([]experiment.Env{experiment.Virtualized}, experiment.MixBrowsing,
+		load.Scenarios()[:2], tinyLoadMutate)
+	points = append(points, Point{Name: "closed/browsing", Config: tinyConfig(experiment.Virtualized, experiment.MixBrowsing)})
+	sr, err := Run(SweepSpec{Points: points, Replications: 2, RootSeed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sr.Points {
+		pr := &sr.Points[i]
+		started := pr.Metric(MetricSessionsStarted)
+		if pr.Point.Config.Load != nil {
+			if started.N != 2 || started.Mean <= 0 {
+				t.Fatalf("%s: sessions_started = %+v", pr.Point.Name, started)
+			}
+		} else if started.N != 0 {
+			t.Fatalf("closed-loop point reports session metrics: %+v", started)
+		}
+		if thr := pr.Metric(MetricThroughput); thr.Mean <= 0 {
+			t.Fatalf("%s: no throughput", pr.Point.Name)
+		}
 	}
 }

@@ -2,7 +2,6 @@ package tiers
 
 import (
 	"fmt"
-	"sort"
 
 	"vwchar/internal/rng"
 	"vwchar/internal/rubis"
@@ -20,13 +19,7 @@ type Driver struct {
 	costs rubis.CostParams
 
 	clients []*client
-	// Completed counts finished interactions; Errors counts failed ones.
-	Completed uint64
-	Errors    uint64
-
-	respTimes []float64 // seconds, capped reservoir
-	byKind    map[rubis.Interaction]uint64
-	writes    uint64
+	driverStats
 }
 
 // client carries one closed-loop session. Its res cost breakdown is
@@ -49,13 +42,13 @@ type client struct {
 // substreams from src.
 func NewDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web *WebAppServer, costs rubis.CostParams, n int, src *rng.Source) *Driver {
 	d := &Driver{
-		k:      k,
-		app:    app,
-		model:  model,
-		web:    web,
-		costs:  costs,
-		byKind: make(map[rubis.Interaction]uint64),
+		k:     k,
+		app:   app,
+		model: model,
+		web:   web,
+		costs: costs,
 	}
+	d.initStats(false)
 	for i := 0; i < n; i++ {
 		c := &client{
 			d:     d,
@@ -101,10 +94,7 @@ func clientDone(arg any) {
 	c := arg.(*client)
 	d := c.d
 	rt := (d.k.Now() - c.sentAt).Sec()
-	d.Completed++
-	if len(d.respTimes) < 200000 {
-		d.respTimes = append(d.respTimes, rt)
-	}
+	d.observe(rt)
 	d.scheduleNext(c)
 }
 
@@ -118,10 +108,7 @@ func (d *Driver) issue(c *client) {
 		d.scheduleNext(c)
 		return
 	}
-	d.byKind[c.state]++
-	if c.res.IsWrite {
-		d.writes++
-	}
+	d.noteInteraction(c.state, c.res.IsWrite)
 	c.sentAt = d.k.Now()
 	d.web.be.NetExternal(c.res.RequestBytes, true, clientArrived, c)
 }
@@ -129,51 +116,4 @@ func (d *Driver) issue(c *client) {
 func (d *Driver) scheduleNext(c *client) {
 	think := d.model.ThinkSeconds(c.think)
 	d.k.AfterCall(sim.Seconds(think), clientIssue, c)
-}
-
-// WriteFraction reports the share of completed interactions that were
-// read-write.
-func (d *Driver) WriteFraction() float64 {
-	if d.Completed == 0 {
-		return 0
-	}
-	return float64(d.writes) / float64(d.Completed)
-}
-
-// InteractionCounts returns a copy of the per-interaction tally.
-func (d *Driver) InteractionCounts() map[rubis.Interaction]uint64 {
-	out := make(map[rubis.Interaction]uint64, len(d.byKind))
-	for k, v := range d.byKind {
-		out[k] = v
-	}
-	return out
-}
-
-// ResponseTimeQuantile reports the q-quantile of observed response times
-// in seconds.
-func (d *Driver) ResponseTimeQuantile(q float64) float64 {
-	if len(d.respTimes) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), d.respTimes...)
-	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	return sorted[int(q*float64(len(sorted)-1))]
-}
-
-// MeanResponseTime reports the mean response time in seconds.
-func (d *Driver) MeanResponseTime() float64 {
-	if len(d.respTimes) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range d.respTimes {
-		sum += v
-	}
-	return sum / float64(len(d.respTimes))
 }

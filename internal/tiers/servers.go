@@ -124,6 +124,9 @@ func (w *WebAppServer) flushSpill(now sim.Time) {
 // Growths reports how many worker-batch spawns (RAM jumps) occurred.
 func (w *WebAppServer) Growths() int { return w.alloc.Growths }
 
+// Backend exposes the tier's backend for client-side transfers.
+func (w *WebAppServer) Backend() Backend { return w.be }
+
 // HandleRequest processes one parsed interaction; done(arg) fires when
 // the response has been transmitted to the client. The res cost
 // breakdown must stay untouched by the caller until then.

@@ -1,0 +1,122 @@
+package tiers
+
+import (
+	"sort"
+
+	"vwchar/internal/rubis"
+)
+
+// LoadGen is the driver contract experiment.Run consumes: the
+// closed-loop Driver and the open-loop OpenDriver both satisfy it, so
+// the deployment assembly is identical whichever workload shape drives
+// it.
+type LoadGen interface {
+	// Start schedules the generator's first events.
+	Start()
+	// Totals reports completed and failed interactions so far.
+	Totals() (completed, errors uint64)
+	// WriteFraction reports the share of completed interactions that
+	// were read-write.
+	WriteFraction() float64
+	// MeanResponseTime reports the mean observed response time (s).
+	MeanResponseTime() float64
+	// ResponseTimeQuantile reports the q-quantile response time (s).
+	ResponseTimeQuantile(q float64) float64
+	// InteractionCounts returns a copy of the per-interaction tally.
+	InteractionCounts() map[rubis.Interaction]uint64
+}
+
+// respTimesCap bounds the response-time reservoir per driver.
+const respTimesCap = 200000
+
+// driverStats is the outcome accounting shared by the closed-loop and
+// open-loop drivers. Embedding keeps the public Completed/Errors fields
+// both drivers expose and guarantees the two report identically shaped
+// results.
+type driverStats struct {
+	// Completed counts finished interactions; Errors counts failed ones.
+	Completed uint64
+	Errors    uint64
+
+	respTimes []float64 // seconds, capped reservoir
+	byKind    map[rubis.Interaction]uint64
+	writes    uint64
+}
+
+// initStats prepares the tally map; prealloc reserves the full
+// response-time reservoir up front so steady-state observation never
+// reallocates (the open-loop driver's zero-alloc discipline).
+func (s *driverStats) initStats(prealloc bool) {
+	s.byKind = make(map[rubis.Interaction]uint64)
+	if prealloc {
+		s.respTimes = make([]float64, 0, respTimesCap)
+	}
+}
+
+// observe records one completed interaction's response time in seconds.
+func (s *driverStats) observe(rt float64) {
+	s.Completed++
+	if len(s.respTimes) < respTimesCap {
+		s.respTimes = append(s.respTimes, rt)
+	}
+}
+
+// noteInteraction tallies one successfully executed interaction.
+func (s *driverStats) noteInteraction(kind rubis.Interaction, isWrite bool) {
+	s.byKind[kind]++
+	if isWrite {
+		s.writes++
+	}
+}
+
+// Totals implements LoadGen.
+func (s *driverStats) Totals() (completed, errors uint64) {
+	return s.Completed, s.Errors
+}
+
+// WriteFraction reports the share of completed interactions that were
+// read-write.
+func (s *driverStats) WriteFraction() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.writes) / float64(s.Completed)
+}
+
+// InteractionCounts returns a copy of the per-interaction tally.
+func (s *driverStats) InteractionCounts() map[rubis.Interaction]uint64 {
+	out := make(map[rubis.Interaction]uint64, len(s.byKind))
+	for k, v := range s.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// ResponseTimeQuantile reports the q-quantile of observed response times
+// in seconds.
+func (s *driverStats) ResponseTimeQuantile(q float64) float64 {
+	if len(s.respTimes) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.respTimes...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// MeanResponseTime reports the mean response time in seconds.
+func (s *driverStats) MeanResponseTime() float64 {
+	if len(s.respTimes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.respTimes {
+		sum += v
+	}
+	return sum / float64(len(s.respTimes))
+}

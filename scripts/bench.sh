@@ -18,13 +18,15 @@ out="BENCH_$(date +%Y-%m-%d).json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run xxx -bench 'BenchmarkEngineOnly$|BenchmarkSweepWorkers' \
+go test -run xxx -bench 'BenchmarkEngineOnly$|BenchmarkSweepWorkers|BenchmarkOpenLoopDriver' \
 	-benchtime "$sim_benchtime" -benchmem . | tee -a "$tmp"
 go test -run xxx \
 	-bench 'BenchmarkBTree|BenchmarkBufferPoolGet|BenchmarkBulkLoad|BenchmarkHeapInsert|BenchmarkEngineQueryMix' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/rubisdb/ | tee -a "$tmp"
 go test -run xxx -bench 'BenchmarkKernel' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/sim/ | tee -a "$tmp"
+go test -run xxx -bench 'BenchmarkArrivalSchedule$' \
+	-benchtime "$micro_benchtime" -benchmem ./internal/load/ | tee -a "$tmp"
 
 {
 	printf '{\n'

@@ -22,12 +22,14 @@ import (
 
 	"vwchar/internal/characterize"
 	"vwchar/internal/experiment"
+	"vwchar/internal/load"
 	"vwchar/internal/model"
 	"vwchar/internal/plot"
 	"vwchar/internal/rubis"
 	"vwchar/internal/runner"
 	"vwchar/internal/sim"
 	"vwchar/internal/sysstat"
+	"vwchar/internal/tiers"
 	"vwchar/internal/timeseries"
 )
 
@@ -184,6 +186,68 @@ func SweepGrid(envs []Env, mixes []MixKind, mutate func(*Config)) []SweepPoint {
 
 // FullSweepGrid is the paper's complete 2-env × 5-mix grid.
 func FullSweepGrid(mutate func(*Config)) []SweepPoint { return runner.FullGrid(mutate) }
+
+// Open-loop workload generation (internal/load): arrival processes over
+// session starts plus a session-lifecycle layer, decoupling *who
+// arrives when* from *what a session does*. Setting Config.Load runs
+// the open-loop driver instead of the paper's fixed closed-loop
+// population; leaving it nil preserves the paper's behaviour byte for
+// byte.
+type (
+	// LoadSpec describes one open-loop workload (JSON round-trippable).
+	LoadSpec = load.Spec
+	// LoadKind names an arrival-process family.
+	LoadKind = load.Kind
+	// LoadNamedSpec is one catalog scenario.
+	LoadNamedSpec = load.NamedSpec
+	// TracePoint is one (time, rate) knot of a replayable rate trace.
+	TracePoint = load.TracePoint
+	// SessionStats is the open-loop session-churn accounting.
+	SessionStats = tiers.SessionStats
+)
+
+// Arrival-process families for LoadSpec.Kind.
+const (
+	LoadPoisson = load.Poisson
+	LoadBursty  = load.Bursty
+	LoadDiurnal = load.Diurnal
+	LoadSpike   = load.Spike
+	LoadTrace   = load.Trace
+)
+
+// LoadScenarios returns the built-in open-loop scenario catalog.
+func LoadScenarios() []LoadNamedSpec { return load.Scenarios() }
+
+// LoadScenarioNames lists the catalog names, sorted.
+func LoadScenarioNames() []string { return load.ScenarioNames() }
+
+// LoadScenario returns the named built-in scenario spec.
+func LoadScenario(name string) (LoadSpec, error) { return load.Scenario(name) }
+
+// ParseLoadTrace reads a CSV rate trace ("time_seconds,rate" lines) for
+// LoadSpec.TracePoints.
+func ParseLoadTrace(r io.Reader) ([]TracePoint, error) { return load.ParseTrace(r) }
+
+// SweepLoadGrid builds the env × load-scenario point grid at a fixed
+// mix — the open-loop analogue of SweepGrid.
+func SweepLoadGrid(envs []Env, mix MixKind, scenarios []LoadNamedSpec, mutate func(*Config)) []SweepPoint {
+	return runner.LoadGrid(envs, mix, scenarios, mutate)
+}
+
+// FullLoadSweepGrid crosses both deployments with every catalog
+// scenario at the given mix.
+func FullLoadSweepGrid(mix MixKind, mutate func(*Config)) []SweepPoint {
+	return runner.FullLoadGrid(mix, mutate)
+}
+
+// Session metrics reported by open-loop sweep points (closed-loop
+// points omit them).
+const (
+	MetricSessionsStarted   = runner.MetricSessionsStarted
+	MetricSessionsFinished  = runner.MetricSessionsFinished
+	MetricSessionsAbandoned = runner.MetricSessionsAbandoned
+	MetricSessionsPeak      = runner.MetricSessionsPeak
+)
 
 // Envs lists the supported deployments; Mixes the five compositions.
 func Envs() []Env { return experiment.Envs() }
