@@ -15,10 +15,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"vwchar"
 	"vwchar/internal/sim"
 )
+
+// mixSlug makes a mix name filesystem-safe ("30/70" -> "30-70").
+func mixSlug(mix vwchar.MixKind) string {
+	return strings.ReplaceAll(string(mix), "/", "-")
+}
 
 func main() {
 	outDir := flag.String("out", "out", "directory for CSV exports")
@@ -129,6 +135,34 @@ func run(outDir string, seed uint64, scale float64, workers int) error {
 			return err
 		}
 		fmt.Printf("(series exported to %s)\n", name)
+	}
+
+	// The windowed application-metric series behind each run: latency
+	// quantiles, throughput, and concurrency per 2 s window, on the
+	// same time axis as the figures' resource series.
+	for _, exp := range []struct {
+		env  vwchar.Env
+		pair *vwchar.Pair
+	}{{vwchar.Virtualized, virt}, {vwchar.Physical, phys}} {
+		for _, run := range []struct {
+			mix vwchar.MixKind
+			res *vwchar.Result
+		}{{vwchar.MixBrowsing, exp.pair.Browse}, {vwchar.MixBidding, exp.pair.Bid}} {
+			name := filepath.Join(outDir, fmt.Sprintf("telemetry_%s_%s.csv",
+				exp.env, mixSlug(run.mix)))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := vwchar.WriteTelemetryCSV(f, run.res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("(windowed telemetry exported to %s)\n", name)
+		}
 	}
 
 	fmt.Println("\n== Section 4 characterization ==")

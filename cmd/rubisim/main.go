@@ -22,6 +22,7 @@ import (
 
 	"vwchar"
 	"vwchar/internal/sim"
+	"vwchar/internal/timeseries"
 )
 
 func main() {
@@ -116,6 +117,24 @@ func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 		fmt.Fprintf(w, "sessions: %d started (%d offered), %d finished, %d abandoned, peak %d concurrent\n",
 			s.Started, s.Offered, s.Finished, s.Abandoned, s.PeakActive)
 	}
+	if tel := res.Telemetry; tel != nil && tel.Windows() > 0 {
+		// Minimum over busy windows only: idle windows record p95=0,
+		// which is an artifact, not a latency floor.
+		minBusy := 0.0
+		for i := 0; i < tel.Windows(); i++ {
+			if tel.Throughput.At(i) <= 0 {
+				continue
+			}
+			if v := tel.LatencyP95.At(i); minBusy == 0 || v < minBusy {
+				minBusy = v
+			}
+		}
+		fmt.Fprintf(w, "windowed p95: %.1f..%.1f ms over %d windows of %.0f s; ",
+			minBusy, tel.LatencyP95.Max(), tel.Windows(), tel.LatencyP95.Interval)
+		if err := vwchar.AnalyzeTransient(tel.LatencyP95, vwchar.TransientConfig{}).Write(w); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "web worker-pool growths (RAM jumps): %d\n\n", res.WebGrowths)
 
 	tiers := []string{vwchar.TierWeb, vwchar.TierDB}
@@ -132,6 +151,14 @@ func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 	if csv {
 		for _, tier := range tiers {
 			if err := res.CPU(tier).WriteCSV(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		// The windowed application metrics as one aligned table: same
+		// time axis as the resource series above.
+		if tel := res.Telemetry; tel != nil {
+			if err := timeseries.WriteTableCSV(w, tel.All()...); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)

@@ -78,8 +78,34 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The windowed telemetry is what the run-level scalar above cannot
+	// show: p95 over time, window for window against the CPU series.
+	// The spike rises orders of magnitude above the steady baseline,
+	// holds while the worker pool is saturated, and drains once the
+	// arrival rate ramps back down.
+	fmt.Println()
+	p95Steady := base.Telemetry.LatencyP95.Clone("steady")
+	p95Crowd := spiked.Telemetry.LatencyP95.Clone("flash-crowd")
+	if err := plot.Render(os.Stdout, plot.DefaultOptions("response-time p95 per 2 s window", "ms"), p95Steady, p95Crowd); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := vwchar.AnalyzeTransient(spiked.Telemetry.LatencyP95, vwchar.TransientConfig{})
+	fmt.Println()
+	if err := tr.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if !tr.Saturated() {
+		log.Fatal("flash crowd never crossed 10x the steady p95 — lower -rate or check the scenario")
+	}
+	if ref := vwchar.AnalyzeTransient(base.Telemetry.LatencyP95, vwchar.TransientConfig{}); ref.Saturated() {
+		fmt.Println("(note: the steady baseline also saturated; raise capacity or lower -rate)")
+	}
+
 	fmt.Println("\nthe steady run holds its demand flat; the flash crowd's web CPU follows the")
-	fmt.Println("arrival trapezoid until the worker pool saturates, after which the abandonment")
-	fmt.Println("SLO converts the excess into session churn — the open-loop failure mode a")
-	fmt.Println("closed-loop population can never exhibit.")
+	fmt.Println("arrival trapezoid until the worker pool saturates, after which queueing sends")
+	fmt.Println("the per-window p95 past 10x its steady value and the abandonment SLO converts")
+	fmt.Println("the excess into session churn — the open-loop failure mode a closed-loop")
+	fmt.Println("population can never exhibit, now visible as a time series rather than a")
+	fmt.Println("single run-level number.")
 }

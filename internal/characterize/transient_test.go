@@ -1,0 +1,109 @@
+package characterize
+
+import (
+	"strings"
+	"testing"
+
+	"vwchar/internal/timeseries"
+)
+
+func p95Series(values ...float64) *timeseries.Series {
+	return &timeseries.Series{Name: "latency_p95_ms", Unit: "ms", Interval: 2, Values: values}
+}
+
+// TestAnalyzeTransientSpike pins the three headline numbers on a
+// synthetic flash crowd: time-to-saturation, peak-window p95, and
+// drain time after the spike.
+func TestAnalyzeTransientSpike(t *testing.T) {
+	s := p95Series(
+		10, 10, 10, 10, 10, 10, 10, 10, 10, 10, // steady baseline
+		150, 900, 2500, 1200, 300, // the spike: crosses 10x at t=20, peaks at t=24
+		50, 20, 12, 10, 10, // drained
+	)
+	tr := AnalyzeTransient(s, TransientConfig{})
+	if tr.SteadyP95 != 10 || tr.Threshold != 100 {
+		t.Fatalf("baseline %v threshold %v", tr.SteadyP95, tr.Threshold)
+	}
+	if !tr.Saturated() || tr.SaturatedAt != 20 {
+		t.Fatalf("time to saturation = %v, want 20", tr.SaturatedAt)
+	}
+	if tr.PeakP95 != 2500 || tr.PeakAt != 24 {
+		t.Fatalf("peak %v at %v", tr.PeakP95, tr.PeakAt)
+	}
+	if tr.DrainedAt != 30 || tr.DrainSeconds != 6 {
+		t.Fatalf("drain at %v (%v s), want 30 (6 s)", tr.DrainedAt, tr.DrainSeconds)
+	}
+	if tr.SaturatedWindows != 5 {
+		t.Fatalf("saturated windows = %d", tr.SaturatedWindows)
+	}
+	var b strings.Builder
+	if err := tr.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "t=20s") || !strings.Contains(b.String(), "2500.0 ms") {
+		t.Fatalf("rendering lost the numbers: %s", b.String())
+	}
+}
+
+// TestAnalyzeTransientNoSaturation pins the quiet case: a steady run
+// reports its baseline and peak but no transient.
+func TestAnalyzeTransientNoSaturation(t *testing.T) {
+	s := p95Series(10, 11, 12, 11, 10, 12, 13, 11, 10, 11)
+	tr := AnalyzeTransient(s, TransientConfig{})
+	if tr.Saturated() || tr.SaturatedWindows != 0 {
+		t.Fatalf("steady series saturated: %+v", tr)
+	}
+	if tr.DrainedAt != -1 || tr.DrainSeconds != 0 {
+		t.Fatalf("drain on a steady series: %+v", tr)
+	}
+	if tr.PeakP95 != 13 {
+		t.Fatalf("peak %v", tr.PeakP95)
+	}
+	var b strings.Builder
+	if err := tr.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no saturation") {
+		t.Fatalf("quiet rendering wrong: %s", b.String())
+	}
+}
+
+// TestAnalyzeTransientEdgeCases covers empty series, an idle baseline
+// (only the peak is reportable), a still-saturated series end, and
+// idle windows inside the baseline.
+func TestAnalyzeTransientEdgeCases(t *testing.T) {
+	if tr := AnalyzeTransient(p95Series(), TransientConfig{}); tr.Saturated() || tr.PeakP95 != 0 {
+		t.Fatalf("empty series: %+v", tr)
+	}
+	// All-zero baseline: no threshold to cross, and the rendering says
+	// the baseline was unusable rather than reporting a 0 ms threshold.
+	tr := AnalyzeTransient(p95Series(0, 0, 0, 0, 5000, 6000, 4000, 0), TransientConfig{})
+	if tr.Saturated() || tr.PeakP95 != 6000 {
+		t.Fatalf("idle-baseline series: %+v", tr)
+	}
+	var b strings.Builder
+	if err := tr.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no usable steady baseline") {
+		t.Fatalf("idle-baseline rendering wrong: %s", b.String())
+	}
+	// Saturated through the end: no drain observed.
+	tr = AnalyzeTransient(p95Series(10, 10, 10, 10, 10, 10, 10, 10, 500, 900, 1500, 1500), TransientConfig{})
+	if !tr.Saturated() || tr.DrainedAt != -1 {
+		t.Fatalf("undrained series: %+v", tr)
+	}
+	// Idle windows inside the baseline are skipped, not averaged in.
+	tr = AnalyzeTransient(p95Series(0, 10, 0, 10, 10, 10, 10, 10, 10, 10, 10, 10, 300, 10, 10, 10), TransientConfig{})
+	if tr.SteadyP95 != 10 {
+		t.Fatalf("sparse baseline median = %v, want 10", tr.SteadyP95)
+	}
+	if !tr.Saturated() || tr.SaturatedAt != 24 {
+		t.Fatalf("sparse-baseline transient: %+v", tr)
+	}
+	// Config knobs are honored.
+	tr = AnalyzeTransient(p95Series(10, 10, 10, 10, 40, 40, 10, 10), TransientConfig{BaselineFraction: 0.5, SaturationFactor: 3})
+	if !tr.Saturated() || tr.Threshold != 30 {
+		t.Fatalf("custom config: %+v", tr)
+	}
+}

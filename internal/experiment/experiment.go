@@ -14,6 +14,7 @@ import (
 	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
 	"vwchar/internal/sysstat"
+	"vwchar/internal/telemetry"
 	"vwchar/internal/tiers"
 	"vwchar/internal/timeseries"
 	"vwchar/internal/xen"
@@ -148,6 +149,14 @@ type Result struct {
 	// Interactions tallies per type.
 	Interactions map[rubis.Interaction]uint64
 
+	// Telemetry is the primary driver's windowed application-metrics
+	// series (per-window latency quantiles, throughput, in-flight
+	// concurrency, session churn), rotated on the collector's ticker so
+	// every series shares the resource series' 2-second time axis. For
+	// consolidated runs it covers instance 0, matching the headline
+	// response-time scalars.
+	Telemetry *telemetry.WindowSeries
+
 	// Sessions is the open-loop session-churn accounting, summed across
 	// co-located instances; nil for closed-loop runs.
 	Sessions *tiers.SessionStats
@@ -276,6 +285,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("experiment: unknown environment %q", cfg.Environment)
 	}
 
+	// Rotate every driver's telemetry window on the collector's
+	// sampling ticker: latency windows and resource samples close at
+	// the same instants, in deterministic driver order. Reserving the
+	// duration-derived window count up front keeps rotation
+	// allocation-free for the whole run.
+	windows := int(cfg.Duration / sysstat.SampleInterval)
+	for _, drv := range drivers {
+		drv.ReserveWindows(windows)
+		collector.OnSample(drv.RotateWindow)
+	}
 	collector.Start()
 	startLoadTicker(k, collector)
 	for _, drv := range drivers {
@@ -308,6 +327,7 @@ func Run(cfg Config) (*Result, error) {
 	res.WriteFraction = primary.WriteFraction()
 	res.MeanRespTime = primary.MeanResponseTime()
 	res.P95RespTime = primary.ResponseTimeQuantile(0.95)
+	res.Telemetry = primary.Telemetry()
 	res.WebGrowths = web.Growths()
 	res.Interactions = primary.InteractionCounts()
 	if hv != nil {

@@ -95,6 +95,66 @@ func TestVirtualizedRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTelemetryAlignsWithCollector pins the tentpole's alignment
+// contract: the windowed latency series rotate on the collector's
+// ticker, so they have exactly one window per resource sample, the
+// same interval, and the same time axis — resource demand and latency
+// can be plotted against each other sample for sample.
+func TestTelemetryAlignsWithCollector(t *testing.T) {
+	r, err := Run(shortConfig(Virtualized, MixBrowsing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := r.Telemetry
+	if tel == nil {
+		t.Fatal("no telemetry on closed-loop result")
+	}
+	cpu := r.CPU(TierWeb)
+	for _, s := range tel.All() {
+		if s.Len() != r.Collector.Samples {
+			t.Fatalf("%s has %d windows, collector took %d samples", s.Name, s.Len(), r.Collector.Samples)
+		}
+		if s.Interval != cpu.Interval {
+			t.Fatalf("%s interval %v != resource interval %v", s.Name, s.Interval, cpu.Interval)
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.TimeAt(i) != cpu.TimeAt(i) {
+				t.Fatalf("%s window %d at t=%v, resource sample at t=%v", s.Name, i, s.TimeAt(i), cpu.TimeAt(i))
+			}
+		}
+	}
+	// The closed loop serves real traffic, so the windowed pipeline
+	// must show it: throughput in most windows, a positive p95 wherever
+	// there is throughput, and run totals consistent with the windows.
+	var completions float64
+	busy := 0
+	for i := 0; i < tel.Throughput.Len(); i++ {
+		tput := tel.Throughput.At(i)
+		completions += tput * tel.Throughput.Interval
+		if tput > 0 {
+			busy++
+			if tel.LatencyP95.At(i) <= 0 {
+				t.Fatalf("window %d has throughput %v but p95 %v", i, tput, tel.LatencyP95.At(i))
+			}
+			if tel.LatencyP95.At(i) < tel.LatencyP50.At(i) {
+				t.Fatalf("window %d p95 %v < p50 %v", i, tel.LatencyP95.At(i), tel.LatencyP50.At(i))
+			}
+		}
+	}
+	if busy < tel.Throughput.Len()/2 {
+		t.Fatalf("only %d of %d windows saw traffic", busy, tel.Throughput.Len())
+	}
+	// Window completions undercount the run total only by what was
+	// still in flight or landed after the last rotation.
+	if completions > float64(r.Completed) || completions < float64(r.Completed)*0.9 {
+		t.Fatalf("windowed completions %v vs run total %d", completions, r.Completed)
+	}
+	// Closed loop: fixed population, no session churn.
+	if tel.Starts.Sum() != 0 || tel.Ends.Sum() != 0 {
+		t.Fatalf("closed-loop run reported session churn: %v starts", tel.Starts.Sum())
+	}
+}
+
 func TestPhysicalRunEndToEnd(t *testing.T) {
 	r, err := Run(shortConfig(Physical, MixBidding))
 	if err != nil {
@@ -326,6 +386,17 @@ func TestOpenLoopRunEndToEnd(t *testing.T) {
 		}
 		if r.CPU(TierWeb).Mean() <= 0 {
 			t.Fatalf("%s: no web CPU demand", env)
+		}
+		// The open loop's session churn reaches the windowed series:
+		// per-window starts sum to (at most) the run's admitted
+		// sessions, short only of what arrived after the last rotation.
+		tel := r.Telemetry
+		if tel == nil || tel.Windows() != r.Collector.Samples {
+			t.Fatalf("%s: telemetry missing or misaligned", env)
+		}
+		starts := tel.Starts.Sum()
+		if starts == 0 || starts > float64(r.Sessions.Started) {
+			t.Fatalf("%s: windowed starts %v vs run total %d", env, starts, r.Sessions.Started)
 		}
 	}
 }

@@ -1,0 +1,206 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"vwchar/internal/experiment"
+	"vwchar/internal/load"
+	"vwchar/internal/rng"
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+	"vwchar/internal/timeseries"
+)
+
+// windowCounts generates arrivals from a built load spec and bins them
+// into w-second windows — the same shape the telemetry pipeline's
+// sessions_started series has.
+func windowCounts(t *testing.T, spec load.Spec, seed uint64, durSec, w float64) *timeseries.Series {
+	t.Helper()
+	arr, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewSource(seed).Stream("arrivals")
+	out := &timeseries.Series{Name: "arrivals", Unit: "sessions/window",
+		Interval: w, Values: make([]float64, int(durSec/w))}
+	now := sim.Time(0)
+	end := sim.Seconds(durSec)
+	for {
+		next := arr.Next(now, r)
+		if next >= end {
+			return out
+		}
+		out.Values[int(next.Sec()/w)]++
+		now = next
+	}
+}
+
+// TestFitArrivalsPoissonRoundTrip is the generate→fit round trip for
+// the memoryless baseline: Poisson counts classify as Poisson with the
+// rate recovered and IoD near 1.
+func TestFitArrivalsPoissonRoundTrip(t *testing.T) {
+	spec := load.Spec{Kind: load.Poisson, Rate: 5}
+	counts := windowCounts(t, spec, 101, 2000, 2)
+	fit, err := FitArrivals(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Kind != load.Poisson {
+		t.Fatalf("classified %s (IoD %.2f), want poisson: %s", fit.Kind, fit.IoD, fit)
+	}
+	if relErr := math.Abs(fit.MeanRate/spec.Rate - 1); relErr > 0.05 {
+		t.Fatalf("rate %.3f vs %v (err %.3f)", fit.MeanRate, spec.Rate, relErr)
+	}
+	if math.Abs(fit.IoD-1) > poissonIoDBand {
+		t.Fatalf("Poisson IoD = %.3f", fit.IoD)
+	}
+	if fit.Spec.Kind != load.Poisson || fit.Spec.Rate != fit.MeanRate {
+		t.Fatalf("spec not runnable round trip: %+v", fit.Spec)
+	}
+}
+
+// TestFitArrivalsMMPPRoundTrip is the bursty round trip: two-state
+// MMPP counts classify as bursty, the state rates and dwell times come
+// back within moment-estimation tolerance, and regenerating from the
+// fitted spec reproduces the overdispersion.
+func TestFitArrivalsMMPPRoundTrip(t *testing.T) {
+	spec := load.Spec{Kind: load.Bursty, Rate: 4, BurstFactor: 6,
+		BaseDwell: 60, BurstDwell: 20}
+	counts := windowCounts(t, spec, 202, 6000, 2)
+	fit, err := FitArrivals(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Kind != load.Bursty {
+		t.Fatalf("classified %s (IoD %.2f), want bursty: %s", fit.Kind, fit.IoD, fit)
+	}
+	if fit.IoD < 2 {
+		t.Fatalf("MMPP counts should be strongly overdispersed, IoD = %.2f", fit.IoD)
+	}
+	if relErr := math.Abs(fit.MeanRate/spec.MeanRate() - 1); relErr > 0.15 {
+		t.Fatalf("mean rate %.3f vs %.3f", fit.MeanRate, spec.MeanRate())
+	}
+	if relErr := math.Abs(fit.Spec.Rate/spec.Rate - 1); relErr > 0.25 {
+		t.Fatalf("base rate %.3f vs %v", fit.Spec.Rate, spec.Rate)
+	}
+	if fit.Spec.BurstFactor < 3 || fit.Spec.BurstFactor > 12 {
+		t.Fatalf("burst factor %.2f vs %v", fit.Spec.BurstFactor, spec.BurstFactor)
+	}
+	if fit.Spec.BaseDwell < spec.BaseDwell/2 || fit.Spec.BaseDwell > spec.BaseDwell*2 {
+		t.Fatalf("base dwell %.1f vs %v", fit.Spec.BaseDwell, spec.BaseDwell)
+	}
+	if fit.Spec.BurstDwell < spec.BurstDwell/2 || fit.Spec.BurstDwell > spec.BurstDwell*2 {
+		t.Fatalf("burst dwell %.1f vs %v", fit.Spec.BurstDwell, spec.BurstDwell)
+	}
+	// Generate from the fitted spec: the synthetic process shows the
+	// same burstiness regime as the measurement it was fitted to.
+	refit, err := FitArrivals(windowCounts(t, fit.Spec, 203, 6000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.Kind != load.Bursty {
+		t.Fatalf("refit of fitted spec classified %s", refit.Kind)
+	}
+	if ratio := refit.IoD / fit.IoD; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("regenerated IoD %.2f vs measured %.2f", refit.IoD, fit.IoD)
+	}
+}
+
+// TestFitArrivalsDiurnalRoundTrip is the periodic round trip: a
+// sinusoidally modulated rate classifies as diurnal with period and
+// amplitude recovered from the first-harmonic moments.
+func TestFitArrivalsDiurnalRoundTrip(t *testing.T) {
+	spec := load.Spec{Kind: load.Diurnal, Rate: 6, Amplitude: 0.6, PeriodSeconds: 240}
+	counts := windowCounts(t, spec, 303, 4800, 2)
+	fit, err := FitArrivals(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Kind != load.Diurnal {
+		t.Fatalf("classified %s (IoD %.2f, amp %.2f), want diurnal: %s", fit.Kind, fit.IoD, fit.Amplitude, fit)
+	}
+	if relErr := math.Abs(fit.MeanRate/spec.Rate - 1); relErr > 0.05 {
+		t.Fatalf("rate %.3f vs %v", fit.MeanRate, spec.Rate)
+	}
+	if math.Abs(fit.Spec.PeriodSeconds/spec.PeriodSeconds-1) > 0.1 {
+		t.Fatalf("period %.1f vs %v", fit.Spec.PeriodSeconds, spec.PeriodSeconds)
+	}
+	if math.Abs(fit.Spec.Amplitude-spec.Amplitude) > 0.15 {
+		t.Fatalf("amplitude %.2f vs %v", fit.Spec.Amplitude, spec.Amplitude)
+	}
+}
+
+// TestFitArrivalsRejectsDegenerate pins the error paths: short series,
+// empty series, zero interval.
+func TestFitArrivalsRejectsDegenerate(t *testing.T) {
+	short := &timeseries.Series{Interval: 2, Values: []float64{1, 2, 3}}
+	if _, err := FitArrivals(short); err == nil {
+		t.Fatal("short series should error")
+	}
+	empty := &timeseries.Series{Interval: 2, Values: make([]float64, 50)}
+	if _, err := FitArrivals(empty); err == nil {
+		t.Fatal("all-zero series should error")
+	}
+	noInterval := &timeseries.Series{Values: []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}}
+	if _, err := FitArrivals(noInterval); err == nil {
+		t.Fatal("zero-interval series should error")
+	}
+}
+
+// TestFitArrivalsFromResult closes the loop across layers: an
+// open-loop experiment's telemetry (per-window session starts recorded
+// on the collector ticker) fits back to the Poisson process that
+// generated it.
+func TestFitArrivalsFromResult(t *testing.T) {
+	cfg := experiment.DefaultConfig(experiment.Virtualized, experiment.MixBrowsing)
+	cfg.Duration = 160 * sim.Second
+	cfg.Dataset = rubis.DatasetConfig{
+		Regions: 10, Categories: 8, Users: 400,
+		ActiveItems: 150, OldItems: 250,
+		BidsPerItem: 3, CommentsPerUser: 1, BufferPages: 256,
+	}
+	// RampSeconds matches the catalog scenarios' default: the thinned
+	// rising prefix must be excluded from the fit, or its deterministic
+	// rate trend masquerades as burstiness.
+	cfg.Load = &load.Spec{Kind: load.Poisson, Rate: 4, SessionMean: 4, RampSeconds: 30}
+	r, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitArrivalsFromResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Kind != load.Poisson {
+		t.Fatalf("classified %s (IoD %.2f), want poisson", fit.Kind, fit.IoD)
+	}
+	if relErr := math.Abs(fit.MeanRate/4 - 1); relErr > 0.25 {
+		t.Fatalf("recovered rate %.3f from telemetry, want ~4", fit.MeanRate)
+	}
+	// A ramp spanning the whole run leaves nothing to fit.
+	whole := cfg
+	whole.Load = &load.Spec{Kind: load.Poisson, Rate: 4, SessionMean: 4,
+		RampSeconds: cfg.Duration.Sec()}
+	rw, err := experiment.Run(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitArrivalsFromResult(rw); err == nil {
+		t.Fatal("run-long ramp should refuse to fit")
+	}
+	// Closed-loop runs have no arrival process to fit.
+	closed, err := experiment.Run(func() experiment.Config {
+		c := cfg
+		c.Load = nil
+		c.Clients = 20
+		c.Duration = 40 * sim.Second
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitArrivalsFromResult(closed); err == nil {
+		t.Fatal("closed-loop run (all-zero starts) should not fit an arrival process")
+	}
+}

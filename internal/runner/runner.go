@@ -24,6 +24,8 @@ import (
 	"vwchar/internal/load"
 	"vwchar/internal/rng"
 	"vwchar/internal/stats"
+	"vwchar/internal/telemetry"
+	"vwchar/internal/timeseries"
 )
 
 // Point is one sweep coordinate: a named experiment configuration. The
@@ -154,6 +156,18 @@ type NamedMetric struct {
 	Metric Metric
 }
 
+// SeriesAggregate is one windowed telemetry series aggregated
+// pointwise across a point's replications: a mean series plus the
+// CI95 half-width per window (zero when fewer than two replications
+// survive). Series are truncated to the shortest replication.
+type SeriesAggregate struct {
+	Name string
+	// N is the number of replications aggregated.
+	N    int
+	Mean *timeseries.Series
+	CI95 *timeseries.Series
+}
+
 // PointResult is one sweep coordinate with its per-replication results
 // and across-replication aggregates.
 type PointResult struct {
@@ -162,6 +176,11 @@ type PointResult struct {
 	// entry marks a failed replication.
 	Reps    []*experiment.Result
 	Metrics []NamedMetric
+	// Series holds the windowed telemetry series aggregated pointwise
+	// across replications, in telemetry.SeriesNames order. It is kept
+	// out of WriteTable so the paper sweep's scalar output bytes stay
+	// pinned by the golden hash; render it with WriteSeriesCSV.
+	Series []SeriesAggregate
 }
 
 // Metric returns the aggregate for name, or a zero Metric when the
@@ -173,6 +192,33 @@ func (p *PointResult) Metric(name string) Metric {
 		}
 	}
 	return Metric{}
+}
+
+// SeriesAgg returns the aggregated series for a telemetry series name
+// (see telemetry.SeriesNames), or nil when absent.
+func (p *PointResult) SeriesAgg(name string) *SeriesAggregate {
+	for i := range p.Series {
+		if p.Series[i].Name == name {
+			return &p.Series[i]
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV renders the point's aggregated window series as one
+// CSV table: a shared time column, then mean and ci95 columns per
+// series. Output depends only on the spec and root seed — the series
+// determinism test compares these bytes across worker counts.
+func (p *PointResult) WriteSeriesCSV(w io.Writer) error {
+	if len(p.Series) == 0 {
+		return nil
+	}
+	cols := make([]*timeseries.Series, 0, 2*len(p.Series))
+	for i := range p.Series {
+		sa := &p.Series[i]
+		cols = append(cols, sa.Mean, sa.CI95)
+	}
+	return timeseries.WriteTableCSV(w, cols...)
 }
 
 // SweepResult is a completed sweep.
@@ -279,6 +325,7 @@ func Run(spec SweepSpec) (*SweepResult, error) {
 	for pi, p := range spec.Points {
 		pr := PointResult{Point: p, Reps: results[pi*reps : (pi+1)*reps]}
 		pr.Metrics = aggregate(pr.Reps)
+		pr.Series = aggregateSeries(pr.Reps)
 		sr.Points[pi] = pr
 	}
 	for i, err := range errs {
@@ -393,6 +440,56 @@ func aggregate(reps []*experiment.Result) []NamedMetric {
 	out := make([]NamedMetric, 0, len(names))
 	for _, name := range names {
 		out = append(out, NamedMetric{Name: name, Metric: summarize(samples[name])})
+	}
+	return out
+}
+
+// aggregateSeries folds the per-replication telemetry series of one
+// point into pointwise mean and CI95 series, skipping failed (nil)
+// replications and truncating to the shortest surviving replication.
+// Iteration is by fixed series order and rep index, so the output is
+// deterministic and independent of worker count.
+func aggregateSeries(reps []*experiment.Result) []SeriesAggregate {
+	out := make([]SeriesAggregate, 0, len(telemetry.SeriesNames))
+	for _, name := range telemetry.SeriesNames {
+		var cols []*timeseries.Series
+		for _, r := range reps {
+			if r == nil || r.Telemetry == nil {
+				continue
+			}
+			if s := r.Telemetry.ByName(name); s != nil {
+				cols = append(cols, s)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		n := cols[0].Len()
+		for _, s := range cols[1:] {
+			if s.Len() < n {
+				n = s.Len()
+			}
+		}
+		sa := SeriesAggregate{
+			Name: name,
+			N:    len(cols),
+			Mean: &timeseries.Series{Name: name, Unit: cols[0].Unit,
+				Interval: cols[0].Interval, Start: cols[0].Start,
+				Values: make([]float64, n)},
+			CI95: &timeseries.Series{Name: name + "_ci95", Unit: cols[0].Unit,
+				Interval: cols[0].Interval, Start: cols[0].Start,
+				Values: make([]float64, n)},
+		}
+		xs := make([]float64, len(cols))
+		for i := 0; i < n; i++ {
+			for j, s := range cols {
+				xs[j] = s.At(i)
+			}
+			m := summarize(xs)
+			sa.Mean.Values[i] = m.Mean
+			sa.CI95.Values[i] = m.CI95
+		}
+		out = append(out, sa)
 	}
 	return out
 }

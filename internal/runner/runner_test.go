@@ -11,6 +11,7 @@ import (
 	"vwchar/internal/load"
 	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
+	"vwchar/internal/telemetry"
 )
 
 // tinyConfig returns a configuration small enough that a replication
@@ -126,6 +127,82 @@ func TestSweepByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	if !strings.Contains(seq, "virtualized/browsing") || !strings.Contains(seq, MetricThroughput) {
 		t.Fatalf("table missing expected content:\n%s", seq)
+	}
+}
+
+// TestSeriesAggregationByteIdenticalAcrossWorkerCounts extends the
+// determinism contract to the windowed telemetry aggregates: the
+// pointwise mean/CI95 series rendered as CSV must be byte-identical at
+// workers=1 and workers=8.
+func TestSeriesAggregationByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	render := func(workers int) string {
+		sr, err := Run(SweepSpec{
+			Points:       tinyPoints(),
+			Replications: 2,
+			RootSeed:     42,
+			Workers:      workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		for i := range sr.Points {
+			fmt.Fprintf(&buf, "# %s\n", sr.Points[i].Point.Name)
+			if err := sr.Points[i].WriteSeriesCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("series aggregates differ between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "latency_p95_ms") {
+		t.Fatalf("series CSV missing latency series:\n%.400s", seq)
+	}
+}
+
+// TestSeriesAggregates pins the shape and content of the windowed
+// aggregates: every telemetry series is aggregated over both
+// replications, windows align with the replication series, and the
+// latency CI is non-degenerate (different seeds produce different
+// windows).
+func TestSeriesAggregates(t *testing.T) {
+	sr, err := Run(SweepSpec{Points: tinyPoints(), Replications: 2, RootSeed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt := &sr.Points[0]
+	if len(virt.Series) != len(telemetry.SeriesNames) {
+		t.Fatalf("aggregated %d series, want %d", len(virt.Series), len(telemetry.SeriesNames))
+	}
+	p95 := virt.SeriesAgg("latency_p95_ms")
+	if p95 == nil || p95.N != 2 {
+		t.Fatalf("p95 aggregate = %+v", p95)
+	}
+	if got, want := p95.Mean.Len(), virt.Reps[0].Telemetry.LatencyP95.Len(); got != want {
+		t.Fatalf("aggregate has %d windows, replications have %d", got, want)
+	}
+	if p95.Mean.Interval != 2 || p95.CI95.Len() != p95.Mean.Len() {
+		t.Fatalf("aggregate axis wrong: interval %v, ci len %d", p95.Mean.Interval, p95.CI95.Len())
+	}
+	if p95.Mean.Max() <= 0 {
+		t.Fatal("aggregated p95 series is all zero")
+	}
+	if p95.CI95.Max() <= 0 {
+		t.Fatal("replication seeds identical? CI95 series all zero")
+	}
+	// Pointwise mean really is the mean of the two replications.
+	mid := p95.Mean.Len() / 2
+	a := virt.Reps[0].Telemetry.LatencyP95.At(mid)
+	b := virt.Reps[1].Telemetry.LatencyP95.At(mid)
+	if got, want := p95.Mean.At(mid), (a+b)/2; math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("window %d mean %v, want %v", mid, got, want)
+	}
+	if virt.SeriesAgg("nope") != nil {
+		t.Fatal("unknown series name should be nil")
 	}
 }
 

@@ -34,6 +34,10 @@ type Collector struct {
 	full map[string]*timeseries.Series
 
 	ticker *sim.Ticker
+	// onSample hooks fire after each collection round, in registration
+	// order — the telemetry recorders rotate their windows here, which
+	// is what aligns the latency series with the resource series.
+	onSample []func(now sim.Time)
 	// Samples counts collection rounds.
 	Samples int
 	// KeepFullCatalog toggles recording all 182 metrics per target
@@ -71,6 +75,14 @@ func NewCollector(k *sim.Kernel, keepFull bool, targets ...Target) *Collector {
 	return c
 }
 
+// OnSample registers a hook invoked after every collection round with
+// the sample time. Hooks run on the collector's ticker in registration
+// order, so anything they emit shares the resource series' time axis
+// sample for sample. Register before Start.
+func (c *Collector) OnSample(fn func(now sim.Time)) {
+	c.onSample = append(c.onSample, fn)
+}
+
 // Start begins sampling (first sample after one interval).
 func (c *Collector) Start() {
 	c.ticker = c.k.Every(SampleInterval, SampleInterval, c.sample)
@@ -100,6 +112,9 @@ func (c *Collector) sample(now sim.Time) {
 		c.prev[t.Name] = cur
 	}
 	c.Samples++
+	for _, fn := range c.onSample {
+		fn(now)
+	}
 }
 
 // CPU returns the per-2s CPU cycle demand series for target name.

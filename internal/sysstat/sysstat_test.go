@@ -157,6 +157,46 @@ func TestCollectorProducesHeadlineSeries(t *testing.T) {
 	}
 }
 
+// TestCollectorOnSampleHook pins the telemetry seam: hooks fire once
+// per collection round, after the resource snapshots, at exactly the
+// sample times — so anything a hook emits is aligned with the resource
+// series window for window.
+func TestCollectorOnSampleHook(t *testing.T) {
+	k := sim.NewKernel()
+	target := Target{Name: "vm", Snap: func() Snapshot {
+		return Snapshot{At: k.Now(), Cores: 2, FreqHz: 2.8e9, MemTotal: 1 << 30, MemUsed: 1 << 29}
+	}}
+	c := NewCollector(k, false, target)
+	var times []sim.Time
+	var sampleCountAtHook []int
+	c.OnSample(func(now sim.Time) {
+		times = append(times, now)
+		sampleCountAtHook = append(sampleCountAtHook, c.Samples)
+	})
+	order := 0
+	c.OnSample(func(now sim.Time) { order++ })
+	c.Start()
+	k.Run(10 * sim.Second)
+	if len(times) != c.Samples || c.Samples != 5 {
+		t.Fatalf("hook fired %d times over %d samples", len(times), c.Samples)
+	}
+	for i, at := range times {
+		if want := sim.Time(i+1) * SampleInterval; at != want {
+			t.Fatalf("hook %d fired at %v, want %v", i, at, want)
+		}
+		// The round's resource samples land before the hook runs.
+		if sampleCountAtHook[i] != i+1 {
+			t.Fatalf("hook %d saw %d samples recorded, want %d", i, sampleCountAtHook[i], i+1)
+		}
+	}
+	if order != 5 {
+		t.Fatalf("second hook fired %d times", order)
+	}
+	if got := c.CPU("vm").Len(); got != len(times) {
+		t.Fatalf("resource series has %d samples vs %d hook firings", got, len(times))
+	}
+}
+
 func TestCollectorFullCatalog(t *testing.T) {
 	k := sim.NewKernel()
 	target := Target{Name: "vm", Snap: func() Snapshot {

@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkLatencyRecord times the two-histogram observation path the
+// drivers sit on — one logarithm, two bin increments, a bounded
+// reservoir append. The CI bench-smoke job gates this at 0 allocs/op
+// beside the kernel ticker and arrival-scheduling gates.
+func BenchmarkLatencyRecord(b *testing.B) {
+	rec := NewRecorder(2, 0, true)
+	v := 0.0001
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(v)
+		v *= 1.000001
+		if v > 100 {
+			v = 0.0001
+		}
+	}
+	if rec.Count() != uint64(b.N) {
+		b.Fatal("lost observations")
+	}
+}
+
+// BenchmarkWindowRotate times closing one 2 s window: four quantile
+// walks over the touched bin range, eight series appends, and the
+// window reset. Gated at 0 allocs/op in CI (the series capacity hint
+// covers the benchmark's windows, as experiment.Run's duration-derived
+// hint covers a run's).
+func BenchmarkWindowRotate(b *testing.B) {
+	rec := NewRecorder(2, b.N+1, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A plausible window: a burst of mixed fast/slow responses.
+		rec.Record(0.004)
+		rec.Record(0.009)
+		rec.Record(0.012)
+		rec.Record(0.250)
+		rec.NoteStart()
+		rec.NoteEnd()
+		rec.Rotate(7)
+	}
+	if rec.Series().Windows() != b.N {
+		b.Fatal("window count mismatch")
+	}
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"sort"
+
+	"vwchar/internal/timeseries"
+)
+
+// DefaultExactCap bounds the exact response-time reservoir a Recorder
+// retains beside its run histogram. While total observations fit, the
+// run-level quantile is exact (bit-identical to sorting every
+// observation — the paper sweep's golden bytes depend on this); beyond
+// it the reservoir stops growing and quantiles come from the merged
+// histogram within RelativeErrorBound. 32768 float64s is 256 KB — an
+// order of magnitude below the 200k-float reservoir it replaces, and
+// fixed rather than proportional to run length.
+const DefaultExactCap = 32768
+
+// SeriesNames labels the per-window series a Recorder emits, in
+// emission order. The names are shared with the runner's
+// cross-replication series aggregation.
+var SeriesNames = []string{
+	"latency_mean_ms",
+	"latency_p50_ms",
+	"latency_p95_ms",
+	"latency_p99_ms",
+	"throughput_rps",
+	"inflight",
+	"sessions_started",
+	"sessions_ended",
+}
+
+// WindowSeries is the per-window output of a Recorder: one sample per
+// collector tick, sharing the resource series' 2-second time axis.
+type WindowSeries struct {
+	// LatencyMean is the exact mean response time per window (ms);
+	// LatencyP50/P95/P99 are histogram quantiles per window (ms).
+	LatencyMean, LatencyP50, LatencyP95, LatencyP99 *timeseries.Series
+	// Throughput is completed interactions per second within the window.
+	Throughput *timeseries.Series
+	// Inflight is the number of requests awaiting a response at the
+	// window boundary (a gauge, like the collector's memory series).
+	Inflight *timeseries.Series
+	// Starts and Ends count session churn within the window; all-zero
+	// for the closed-loop driver, whose population is fixed.
+	Starts, Ends *timeseries.Series
+}
+
+// All lists the series in SeriesNames order.
+func (w *WindowSeries) All() []*timeseries.Series {
+	return []*timeseries.Series{
+		w.LatencyMean, w.LatencyP50, w.LatencyP95, w.LatencyP99,
+		w.Throughput, w.Inflight, w.Starts, w.Ends,
+	}
+}
+
+// ByName returns the named series, or nil for an unknown name.
+func (w *WindowSeries) ByName(name string) *timeseries.Series {
+	for i, s := range w.All() {
+		if SeriesNames[i] == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Windows reports the number of closed windows.
+func (w *WindowSeries) Windows() int { return w.LatencyP95.Len() }
+
+// Recorder accumulates response-time observations and window-local
+// counters, closing one window per Rotate call. The caller rotates it
+// from the sysstat collector's sampling ticker, which is what aligns
+// the emitted series with the resource series sample for sample.
+type Recorder struct {
+	windowSec float64
+
+	// win is the current window's histogram; run is the whole-run
+	// merge, recorded in the same pass (one bin computation, two
+	// increments).
+	win, run Hist
+
+	// exact is the bounded exact reservoir backing small-count
+	// run-level quantiles; sorted tracks whether it is currently in
+	// ascending order (Quantile sorts it in place and records resume
+	// appending, dirtying it again).
+	exact    []float64
+	exactCap int
+	sorted   bool
+
+	starts, ends uint64
+
+	series WindowSeries
+}
+
+// NewRecorder builds a recorder with the given window length in
+// seconds and a capacity hint in windows (how many Rotate calls the
+// run is expected to make; rotation never allocates while within the
+// hint). prealloc reserves the exact reservoir up front so steady-state
+// recording never allocates either — the open-loop driver's zero-alloc
+// discipline.
+func NewRecorder(windowSec float64, windowHint int, prealloc bool) *Recorder {
+	r := &Recorder{windowSec: windowSec, exactCap: DefaultExactCap}
+	if prealloc {
+		r.exact = make([]float64, 0, r.exactCap)
+	}
+	newSeries := func(name, unit string) *timeseries.Series {
+		s := &timeseries.Series{Name: name, Unit: unit, Interval: windowSec}
+		if windowHint > 0 {
+			s.Values = make([]float64, 0, windowHint)
+		}
+		return s
+	}
+	r.series = WindowSeries{
+		LatencyMean: newSeries(SeriesNames[0], "ms"),
+		LatencyP50:  newSeries(SeriesNames[1], "ms"),
+		LatencyP95:  newSeries(SeriesNames[2], "ms"),
+		LatencyP99:  newSeries(SeriesNames[3], "ms"),
+		Throughput:  newSeries(SeriesNames[4], "req/s"),
+		Inflight:    newSeries(SeriesNames[5], "requests"),
+		Starts:      newSeries(SeriesNames[6], "sessions/window"),
+		Ends:        newSeries(SeriesNames[7], "sessions/window"),
+	}
+	return r
+}
+
+// Record adds one response-time observation in seconds. Allocation-free
+// once the reservoir is at capacity (or was preallocated).
+func (r *Recorder) Record(rt float64) {
+	i := binIndex(rt)
+	r.win.recordAt(rt, i)
+	r.run.recordAt(rt, i)
+	if len(r.exact) < r.exactCap {
+		r.exact = append(r.exact, rt)
+		r.sorted = false
+	}
+}
+
+// recordAt is Record with the bin precomputed, so the recorder pays
+// one logarithm per observation for its two histograms.
+func (h *Hist) recordAt(v float64, i int) {
+	if h.n == 0 {
+		h.min, h.max = v, v
+		h.lo, h.hi = i, i
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+		if i < h.lo {
+			h.lo = i
+		}
+		if i > h.hi {
+			h.hi = i
+		}
+	}
+	h.n++
+	h.sum += v
+	h.counts[i]++
+}
+
+// NoteStart tallies one session admitted in the current window.
+func (r *Recorder) NoteStart() { r.starts++ }
+
+// NoteEnd tallies one session ended (finished or abandoned) in the
+// current window.
+func (r *Recorder) NoteEnd() { r.ends++ }
+
+// Rotate closes the current window, appending one sample to every
+// series: window latency stats, throughput, the inflight gauge passed
+// by the caller, and session churn. The window histogram and counters
+// reset for the next window.
+func (r *Recorder) Rotate(inflight int) {
+	w := &r.win
+	r.series.LatencyMean.Append(w.Mean() * 1e3)
+	r.series.LatencyP50.Append(w.Quantile(0.50) * 1e3)
+	r.series.LatencyP95.Append(w.Quantile(0.95) * 1e3)
+	r.series.LatencyP99.Append(w.Quantile(0.99) * 1e3)
+	r.series.Throughput.Append(float64(w.Count()) / r.windowSec)
+	r.series.Inflight.Append(float64(inflight))
+	r.series.Starts.Append(float64(r.starts))
+	r.series.Ends.Append(float64(r.ends))
+	w.Reset()
+	r.starts, r.ends = 0, 0
+}
+
+// ReserveWindows grows every series' capacity to hold n windows, so
+// rotation within that horizon never allocates. experiment.Run calls
+// it with the run's duration-derived window count before the kernel
+// starts; the capacity hint at construction covers callers that know
+// the horizon up front.
+func (r *Recorder) ReserveWindows(n int) {
+	for _, s := range r.series.All() {
+		if cap(s.Values)-len(s.Values) < n {
+			grown := make([]float64, len(s.Values), len(s.Values)+n)
+			copy(grown, s.Values)
+			s.Values = grown
+		}
+	}
+}
+
+// Series exposes the emitted per-window series.
+func (r *Recorder) Series() *WindowSeries { return &r.series }
+
+// Count reports total observations recorded.
+func (r *Recorder) Count() uint64 { return r.run.Count() }
+
+// Mean reports the exact run-level mean response time in seconds.
+func (r *Recorder) Mean() float64 { return r.run.Mean() }
+
+// Quantile reports the run-level q-quantile in seconds. While every
+// observation still fits the exact reservoir it reproduces the
+// sort-and-index quantile of the reservoir it replaced bit for bit
+// (rank floor(q*(n-1)), no interpolation), sorting in place at most
+// once per batch of records; beyond the cap it falls back to the
+// merged run histogram, within RelativeErrorBound.
+func (r *Recorder) Quantile(q float64) float64 {
+	n := r.run.Count()
+	if n == 0 {
+		return 0
+	}
+	if n > uint64(len(r.exact)) {
+		return r.run.Quantile(q)
+	}
+	if !r.sorted {
+		sort.Float64s(r.exact)
+		r.sorted = true
+	}
+	if q <= 0 {
+		return r.exact[0]
+	}
+	if q >= 1 {
+		return r.exact[len(r.exact)-1]
+	}
+	return r.exact[int(q*float64(len(r.exact)-1))]
+}
+
+// ExactLen reports how many observations the exact reservoir holds —
+// the memory-regression tests pin that it never exceeds DefaultExactCap.
+func (r *Recorder) ExactLen() int { return len(r.exact) }

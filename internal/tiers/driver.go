@@ -110,6 +110,7 @@ func (d *Driver) issue(c *client) {
 	}
 	d.noteInteraction(c.state, c.res.IsWrite)
 	c.sentAt = d.k.Now()
+	d.observeSent()
 	d.web.be.NetExternal(c.res.RequestBytes, true, clientArrived, c)
 }
 

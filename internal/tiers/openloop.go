@@ -178,6 +178,7 @@ func (d *OpenDriver) startSession() {
 	s.sess.RegionID = id % int64(d.app.Config.Regions)
 	s.sess.ToUserID = (id * 13) % d.app.TotalUsers()
 	d.Sessions.Started++
+	d.rec.NoteStart()
 	d.active++
 	if d.active > d.Sessions.PeakActive {
 		d.Sessions.PeakActive = d.active
@@ -203,6 +204,7 @@ func (d *OpenDriver) issue(s *openSession) {
 	}
 	d.noteInteraction(s.state, s.res.IsWrite)
 	s.sentAt = d.k.Now()
+	d.observeSent()
 	d.web.Backend().NetExternal(s.res.RequestBytes, true, openArrived, s)
 }
 
@@ -244,6 +246,7 @@ func (d *OpenDriver) endSession(s *openSession, abandoned bool) {
 	} else {
 		d.Sessions.Finished++
 	}
+	d.rec.NoteEnd()
 	d.active--
 	d.sessFree.Put(s)
 }

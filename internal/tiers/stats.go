@@ -1,9 +1,10 @@
 package tiers
 
 import (
-	"sort"
-
 	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+	"vwchar/internal/sysstat"
+	"vwchar/internal/telemetry"
 )
 
 // LoadGen is the driver contract experiment.Run consumes: the
@@ -24,41 +25,56 @@ type LoadGen interface {
 	ResponseTimeQuantile(q float64) float64
 	// InteractionCounts returns a copy of the per-interaction tally.
 	InteractionCounts() map[rubis.Interaction]uint64
+	// ReserveWindows preallocates the telemetry series for n windows
+	// so steady-state rotation never allocates; experiment.Run derives
+	// n from the run duration before starting the kernel.
+	ReserveWindows(n int)
+	// RotateWindow closes the current telemetry window; experiment.Run
+	// hooks it onto the sysstat collector's sampling ticker so the
+	// latency series share the resource series' time axis.
+	RotateWindow(now sim.Time)
+	// Telemetry exposes the per-window latency/throughput/churn series.
+	Telemetry() *telemetry.WindowSeries
 }
-
-// respTimesCap bounds the response-time reservoir per driver.
-const respTimesCap = 200000
 
 // driverStats is the outcome accounting shared by the closed-loop and
 // open-loop drivers. Embedding keeps the public Completed/Errors fields
 // both drivers expose and guarantees the two report identically shaped
-// results.
+// results. Response times flow into a telemetry.Recorder: a windowed
+// log-histogram pipeline whose run-level mean and quantiles replace the
+// run-long []float64 reservoir this struct used to carry (exact while
+// observations fit a bounded spill, histogram-accurate beyond it).
 type driverStats struct {
 	// Completed counts finished interactions; Errors counts failed ones.
 	Completed uint64
 	Errors    uint64
 
-	respTimes []float64 // seconds, capped reservoir
-	byKind    map[rubis.Interaction]uint64
-	writes    uint64
+	rec      *telemetry.Recorder
+	inflight int
+	byKind   map[rubis.Interaction]uint64
+	writes   uint64
 }
 
-// initStats prepares the tally map; prealloc reserves the full
-// response-time reservoir up front so steady-state observation never
-// reallocates (the open-loop driver's zero-alloc discipline).
+// initStats prepares the tally map and the telemetry recorder, with
+// windows matching the sysstat sampling period; prealloc reserves the
+// recorder's exact reservoir up front so steady-state observation never
+// allocates (the open-loop driver's zero-alloc discipline). The series
+// themselves are sized later, when experiment.Run calls ReserveWindows
+// with the duration-derived window count.
 func (s *driverStats) initStats(prealloc bool) {
 	s.byKind = make(map[rubis.Interaction]uint64)
-	if prealloc {
-		s.respTimes = make([]float64, 0, respTimesCap)
-	}
+	s.rec = telemetry.NewRecorder(sysstat.SampleInterval.Sec(), 0, prealloc)
 }
+
+// observeSent marks one request leaving the client, for the in-flight
+// concurrency gauge.
+func (s *driverStats) observeSent() { s.inflight++ }
 
 // observe records one completed interaction's response time in seconds.
 func (s *driverStats) observe(rt float64) {
 	s.Completed++
-	if len(s.respTimes) < respTimesCap {
-		s.respTimes = append(s.respTimes, rt)
-	}
+	s.inflight--
+	s.rec.Record(rt)
 }
 
 // noteInteraction tallies one successfully executed interaction.
@@ -68,6 +84,16 @@ func (s *driverStats) noteInteraction(kind rubis.Interaction, isWrite bool) {
 		s.writes++
 	}
 }
+
+// ReserveWindows implements LoadGen.
+func (s *driverStats) ReserveWindows(n int) { s.rec.ReserveWindows(n) }
+
+// RotateWindow implements LoadGen: it closes the current telemetry
+// window, sampling the in-flight gauge at the boundary.
+func (s *driverStats) RotateWindow(now sim.Time) { s.rec.Rotate(s.inflight) }
+
+// Telemetry implements LoadGen.
+func (s *driverStats) Telemetry() *telemetry.WindowSeries { return s.rec.Series() }
 
 // Totals implements LoadGen.
 func (s *driverStats) Totals() (completed, errors uint64) {
@@ -92,31 +118,16 @@ func (s *driverStats) InteractionCounts() map[rubis.Interaction]uint64 {
 	return out
 }
 
-// ResponseTimeQuantile reports the q-quantile of observed response times
-// in seconds.
+// ResponseTimeQuantile reports the q-quantile of observed response
+// times in seconds: exact (bit-identical to the replaced sort-the-
+// reservoir computation) while the run fits the recorder's bounded
+// exact spill, merged-histogram accurate beyond it.
 func (s *driverStats) ResponseTimeQuantile(q float64) float64 {
-	if len(s.respTimes) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), s.respTimes...)
-	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	return sorted[int(q*float64(len(sorted)-1))]
+	return s.rec.Quantile(q)
 }
 
-// MeanResponseTime reports the mean response time in seconds.
+// MeanResponseTime reports the mean response time in seconds, exact
+// over every observation via the recorder's running sum.
 func (s *driverStats) MeanResponseTime() float64 {
-	if len(s.respTimes) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range s.respTimes {
-		sum += v
-	}
-	return sum / float64(len(s.respTimes))
+	return s.rec.Mean()
 }

@@ -29,6 +29,7 @@ import (
 	"vwchar/internal/runner"
 	"vwchar/internal/sim"
 	"vwchar/internal/sysstat"
+	"vwchar/internal/telemetry"
 	"vwchar/internal/tiers"
 	"vwchar/internal/timeseries"
 )
@@ -248,6 +249,66 @@ const (
 	MetricSessionsAbandoned = runner.MetricSessionsAbandoned
 	MetricSessionsPeak      = runner.MetricSessionsPeak
 )
+
+// Windowed telemetry (internal/telemetry): every run's response-time
+// pipeline records into 2-second windows rotated on the collector's
+// sampling ticker, so Result.Telemetry's per-window latency quantiles,
+// throughput, in-flight concurrency, and session-churn series share a
+// time axis with the resource series — the flash-crowd transient is a
+// plottable series, not a run-level scalar.
+type (
+	// TelemetrySeries is a run's per-window application-metric series.
+	TelemetrySeries = telemetry.WindowSeries
+	// LatencyHist is the mergeable fixed-bin log latency histogram.
+	LatencyHist = telemetry.Hist
+	// SweepSeries is one telemetry series aggregated pointwise (mean
+	// and CI95 per window) across a sweep point's replications.
+	SweepSeries = runner.SeriesAggregate
+	// Transient is the time-resolved queueing analysis of a latency
+	// series: time-to-saturation, peak-window p95, drain time.
+	Transient = characterize.Transient
+	// TransientConfig parameterizes AnalyzeTransient.
+	TransientConfig = characterize.TransientConfig
+	// Analysis carries the characterization warm-up window.
+	Analysis = characterize.Analysis
+	// ArrivalFit is a moment-based arrival-process fit of a windowed
+	// arrival-count series.
+	ArrivalFit = model.ArrivalFit
+)
+
+// TelemetrySeriesNames lists the per-window series names, in emission
+// order (also the SweepSeries naming). The returned slice is a copy.
+func TelemetrySeriesNames() []string {
+	return append([]string(nil), telemetry.SeriesNames...)
+}
+
+// AnalyzeTransient computes the queueing transient of a per-window
+// latency series (typically Result.Telemetry.LatencyP95).
+func AnalyzeTransient(p95 *Series, cfg TransientConfig) Transient {
+	return characterize.AnalyzeTransient(p95, cfg)
+}
+
+// AnalysisFromTelemetry derives the characterization warm-up window
+// from a run's windowed throughput instead of the fixed 20% skip.
+func AnalysisFromTelemetry(r *Result) Analysis { return characterize.AnalysisFromTelemetry(r) }
+
+// FitArrivals fits an arrival process (Poisson / bursty MMPP /
+// diurnal) to a windowed arrival-count series by its index of
+// dispersion and period moments.
+func FitArrivals(counts *Series) (ArrivalFit, error) { return model.FitArrivals(counts) }
+
+// FitArrivalsFromResult fits the arrival process of an open-loop run
+// from its telemetry's per-window session starts.
+func FitArrivalsFromResult(r *Result) (ArrivalFit, error) { return model.FitArrivalsFromResult(r) }
+
+// WriteTelemetryCSV exports a run's windowed telemetry as one CSV
+// table with a shared time column, aligned with the resource series.
+func WriteTelemetryCSV(w io.Writer, r *Result) error {
+	if r.Telemetry == nil {
+		return nil
+	}
+	return timeseries.WriteTableCSV(w, r.Telemetry.All()...)
+}
 
 // Envs lists the supported deployments; Mixes the five compositions.
 func Envs() []Env { return experiment.Envs() }

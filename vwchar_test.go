@@ -56,6 +56,31 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if !strings.Contains(buf.String(), "Front-end / back-end") {
 		t.Fatal("report incomplete")
 	}
+
+	// The windowed telemetry pipeline reaches the public surface: the
+	// per-window series exist, export as one aligned CSV table, and
+	// feed the transient analysis.
+	tel := virt.Browse.Telemetry
+	if tel == nil || tel.Windows() == 0 {
+		t.Fatal("run has no windowed telemetry")
+	}
+	if got, want := len(vwchar.TelemetrySeriesNames()), len(tel.All()); got != want {
+		t.Fatalf("series names %d vs series %d", got, want)
+	}
+	buf.Reset()
+	if err := vwchar.WriteTelemetryCSV(&buf, virt.Browse); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "latency_p95_ms") || !strings.Contains(buf.String(), "time_s") {
+		t.Fatal("telemetry csv incomplete")
+	}
+	tr := vwchar.AnalyzeTransient(tel.LatencyP95, vwchar.TransientConfig{})
+	if tr.PeakP95 <= 0 {
+		t.Fatal("transient analysis saw no latency")
+	}
+	if tr.Saturated() {
+		t.Fatalf("steady closed-loop run should not cross 10x steady p95: %+v", tr)
+	}
 }
 
 func TestHeadlineDirectionsAtScale(t *testing.T) {
