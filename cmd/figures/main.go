@@ -137,6 +137,51 @@ func run(outDir string, seed uint64, scale float64, workers int) error {
 		fmt.Printf("(series exported to %s)\n", name)
 	}
 
+	// Figure 9 goes beyond the paper's fixed pair: one autoscaled
+	// flash-crowd run pairing the web tier's CPU demand with the
+	// per-window latency p95, replica count overlaid, showing capacity
+	// arriving mid-spike. One extra modest open-loop run.
+	fmt.Fprintln(os.Stderr, "running autoscaled flash crowd for figure 9...")
+	crowd, err := vwchar.LoadScenario("flash-crowd")
+	if err != nil {
+		return err
+	}
+	cfg9 := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+	cfg9.Duration = sim.Seconds(600)
+	cfg9.Seed = seed
+	cfg9.Load = &crowd
+	cfg9.Topology = &vwchar.Topology{
+		WebReplicas:    1,
+		MaxWebReplicas: 4,
+		LB:             vwchar.LBLeastInFlight,
+		Autoscaler:     &vwchar.AutoscalerSpec{SLOMillis: 500},
+	}
+	res9, err := vwchar.Run(cfg9)
+	if err != nil {
+		return err
+	}
+	fig9, err := vwchar.BuildSaturationFigure(res9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Figure %d. %s ==\n", fig9.ID, fig9.Caption)
+	if err := vwchar.RenderFigure(os.Stdout, fig9); err != nil {
+		return err
+	}
+	name9 := filepath.Join(outDir, fmt.Sprintf("figure%d.csv", fig9.ID))
+	f9, err := os.Create(name9)
+	if err != nil {
+		return err
+	}
+	if err := vwchar.WriteFigureCSV(f9, fig9); err != nil {
+		f9.Close()
+		return err
+	}
+	if err := f9.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(series exported to %s)\n", name9)
+
 	// The windowed application-metric series behind each run: latency
 	// quantiles, throughput, and concurrency per 2 s window, on the
 	// same time axis as the figures' resource series.

@@ -35,9 +35,19 @@ func main() {
 	loadName := flag.String("load", "", "open-loop scenario: "+strings.Join(vwchar.LoadScenarioNames(), " | "))
 	rate := flag.Float64("rate", 0, "override the scenario's arrival rate (sessions/s; trace: multiplier)")
 	trace := flag.String("trace", "", "replay an arrival-rate trace from a CSV file (time_seconds,rate)")
+	webReplicas := flag.Int("web-replicas", 0, "initial web replicas (0: paper's single web VM)")
+	maxWeb := flag.Int("max-web-replicas", 0, "web replica headroom for the autoscaler (0: no headroom)")
+	dbReplicas := flag.Int("db-replicas", 0, "DB read replicas behind the primary")
+	lb := flag.String("lb", "", "load balancer: round-robin | least-inflight | jsq")
+	machines := flag.Int("machines", 0, "physical machines to place VMs on (0/1: one host)")
+	autoscale := flag.String("autoscale", "", "autoscaler policy: reactive | predictive")
+	sloMillis := flag.Float64("slo-ms", 500, "autoscaler latency SLO (p95, ms)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*env, *mix, *clients, *duration, *seed, *loadName, *rate, *trace)
+	if err == nil {
+		err = applyTopology(&cfg, *webReplicas, *maxWeb, *dbReplicas, *lb, *machines, *autoscale, *sloMillis)
+	}
 	if err == nil {
 		err = run(cfg, *csv, os.Stdout)
 	}
@@ -96,6 +106,27 @@ func buildConfig(env, mix string, clients int, duration float64, seed uint64, lo
 	return cfg, nil
 }
 
+// applyTopology attaches a cluster topology when any cluster flag was
+// set; with all flags at their zero values the config keeps the
+// paper's fixed pair.
+func applyTopology(cfg *vwchar.Config, webReplicas, maxWeb, dbReplicas int, lb string, machines int, autoscale string, sloMillis float64) error {
+	if webReplicas == 0 && maxWeb == 0 && dbReplicas == 0 && lb == "" && machines == 0 && autoscale == "" {
+		return nil
+	}
+	topo := &vwchar.Topology{
+		WebReplicas:    webReplicas,
+		MaxWebReplicas: maxWeb,
+		DBReadReplicas: dbReplicas,
+		LB:             vwchar.LBPolicy(lb),
+		Machines:       machines,
+	}
+	if autoscale != "" {
+		topo.Autoscaler = &vwchar.AutoscalerSpec{Policy: autoscale, SLOMillis: sloMillis}
+	}
+	cfg.Topology = topo
+	return cfg.Validate()
+}
+
 func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 	res, err := vwchar.Run(cfg)
 	if err != nil {
@@ -116,6 +147,14 @@ func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 	if s := res.Sessions; s != nil {
 		fmt.Fprintf(w, "sessions: %d started (%d offered), %d finished, %d abandoned, peak %d concurrent\n",
 			s.Started, s.Offered, s.Finished, s.Abandoned, s.PeakActive)
+	}
+	if sc := res.Scaling; sc != nil {
+		fmt.Fprintf(w, "cluster: peak %d web replicas, %d scale-ups, %d scale-downs",
+			sc.PeakReplicas, sc.ScaleUps, sc.ScaleDowns)
+		if sc.ScaleUps > 0 {
+			fmt.Fprintf(w, ", first capacity active at t=%.0fs", sc.FirstUpAt.Sec())
+		}
+		fmt.Fprintln(w)
 	}
 	if tel := res.Telemetry; tel != nil && tel.Windows() > 0 {
 		// Minimum over busy windows only: idle windows record p95=0,
@@ -158,7 +197,7 @@ func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 		// The windowed application metrics as one aligned table: same
 		// time axis as the resource series above.
 		if tel := res.Telemetry; tel != nil {
-			if err := timeseries.WriteTableCSV(w, tel.All()...); err != nil {
+			if err := timeseries.WriteTableCSV(w, tel.Present()...); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)

@@ -1,0 +1,131 @@
+// Autoscale: the flash crowd from examples/flash_crowd, but with the
+// telemetry loop closed. The paper profiles a fixed 1-web/1-DB pair, so
+// an open-loop spike has nowhere to go but the queue: p95 detaches from
+// CPU and the abandonment SLO converts the excess into lost sessions.
+// This example runs the same flash-crowd scenario twice — once at the
+// paper's fixed capacity and once with web-replica headroom behind a
+// load balancer and a reactive autoscaler watching the windowed p95 —
+// and reports time-to-scale and the SLO debt each run accrued.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vwchar"
+	"vwchar/internal/plot"
+	"vwchar/internal/sim"
+)
+
+func main() {
+	rate := flag.Float64("rate", 12, "base arrival rate in sessions/s (spike peaks at 8x)")
+	duration := flag.Float64("duration", 600, "run length in seconds (spike hits at t=300)")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	maxReplicas := flag.Int("max-replicas", 4, "web replica headroom for the autoscaler")
+	sloMillis := flag.Float64("slo-ms", 500, "latency SLO (windowed p95, ms)")
+	policy := flag.String("policy", "reactive", "autoscaler policy: reactive | predictive")
+	flag.Parse()
+
+	crowd, err := vwchar.LoadScenario("flash-crowd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	crowd.Rate = *rate
+
+	runOne := func(name string, topo *vwchar.Topology) *vwchar.Result {
+		cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+		cfg.Duration = sim.Seconds(*duration)
+		cfg.Seed = *seed
+		load := crowd
+		cfg.Load = &load
+		cfg.Topology = topo
+		if err := cfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		res, err := vwchar.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fixed := runOne("fixed capacity (paper's pair)", nil)
+	// The knobs matter against a 30 s arrival ramp: two violating 2 s
+	// windows to detect, 10 s to boot, so the second replica takes
+	// traffic while the spike is still ramping. The long drain streak
+	// keeps the scaler from flapping capacity away mid-spike.
+	scaled := runOne("autoscaled cluster", &vwchar.Topology{
+		WebReplicas:    1,
+		MaxWebReplicas: *maxReplicas,
+		LB:             vwchar.LBLeastInFlight,
+		Autoscaler: &vwchar.AutoscalerSpec{
+			Policy:           *policy,
+			SLOMillis:        *sloMillis,
+			BootSeconds:      10,
+			CooldownSeconds:  10,
+			ScaleDownWindows: 45,
+		},
+	})
+
+	fmt.Printf("flash crowd at %.3g sessions/s base (spike: 8x for 120 s at t=300), SLO %.0f ms:\n\n", *rate, *sloMillis)
+	analyses := make(map[string]vwchar.ScalingAnalysis, 2)
+	for _, row := range []struct {
+		name string
+		res  *vwchar.Result
+	}{{"fixed", fixed}, {"autoscaled", scaled}} {
+		a := vwchar.AnalyzeScaling(row.res, *sloMillis)
+		analyses[row.name] = a
+		fmt.Printf("-- %s --\n", row.name)
+		if err := a.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	// The per-window p95 traces side by side: the fixed run's spike
+	// rides the queue until the arrival ramp drains; the autoscaled
+	// run's spike is cut short when the second (third, ...) replica
+	// finishes booting and the load balancer spreads the crowd.
+	p95Fixed := fixed.Telemetry.LatencyP95.Clone("fixed")
+	p95Scaled := scaled.Telemetry.LatencyP95.Clone("autoscaled")
+	if err := plot.Render(os.Stdout, plot.DefaultOptions("response-time p95 per 2 s window", "ms"), p95Fixed, p95Scaled); err != nil {
+		log.Fatal(err)
+	}
+
+	if rep := scaled.Telemetry.Replicas; rep != nil {
+		fmt.Println()
+		if err := plot.Render(os.Stdout, plot.DefaultOptions("active web replicas", "replicas"), rep.Clone("replicas")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fa, sa := analyses["fixed"], analyses["autoscaled"]
+	fmt.Println()
+	fmt.Printf("peak p95: fixed %.0f ms vs autoscaled %.0f ms (%.1fx lower)\n",
+		fa.PeakP95, sa.PeakP95, safeRatio(fa.PeakP95, sa.PeakP95))
+	fmt.Printf("SLO debt: fixed %.1f s vs autoscaled %.1f s; sessions lost: %d vs %d\n",
+		fa.TotalDebtSec(), sa.TotalDebtSec(), fa.DrivenAway, sa.DrivenAway)
+	if !sa.Scaled() {
+		log.Fatal("the autoscaler never fired — raise -rate or lower -slo-ms")
+	}
+	if sa.PeakP95 >= fa.PeakP95 {
+		log.Fatal("autoscaling did not reduce the peak p95 — raise -max-replicas or check the policy")
+	}
+
+	fmt.Println("\nthe fixed pair absorbs the spike as queueing and churn; the autoscaled run")
+	fmt.Println("pays the detection streak plus the boot delay (time-to-scale above), then the")
+	fmt.Println("load balancer spreads the crowd and the p95 falls back toward the SLO. The")
+	fmt.Println("debt split shows what the added capacity bought: less demand served slowly,")
+	fmt.Println("and fewer sessions driven away.")
+}
+
+// safeRatio guards the headline ratio against a zero denominator.
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+	"vwchar/internal/sysstat"
+	"vwchar/internal/tiers"
+	"vwchar/internal/xen"
+)
+
+// vmInstance is one assembled RUBiS instance on the virtualized
+// testbed: the web cluster, its DB tier, and the guest domains backing
+// them (for collector targets).
+type vmInstance struct {
+	cluster *tiers.WebCluster
+	dbc     *tiers.DBCluster
+	webDoms []*xen.Domain
+	dbDoms  []*xen.Domain // primary first, then read replicas
+}
+
+// buildVMInstance assembles one RUBiS instance for the (normalized)
+// topology on the given hypervisors. pair is the consolidation index:
+// multi-pair runs place several degenerate instances side by side, so
+// guest names stay unique and, for the degenerate single-pair case,
+// identical to the pre-topology assembly ("webapp-vm-0", "mysql-vm-0").
+//
+// Construction order is part of the determinism contract: web guests
+// (in replica order), then DB guests (primary, then read replicas),
+// then DB servers before web servers — exactly the pre-topology
+// sequence when the topology is degenerate, so the golden sweep hash
+// pins this path.
+func buildVMInstance(k *sim.Kernel, hvs []*xen.Hypervisor, topo tiers.Topology, pair int, app *rubis.App) *vmInstance {
+	inst := &vmInstance{}
+	hvFor := func(vm int) *xen.Hypervisor { return hvs[topo.MachineFor(vm)] }
+
+	for i := 0; i < topo.MaxWebReplicas; i++ {
+		d := hvFor(i).CreateGuest(fmt.Sprintf("webapp-vm-%d", pair*topo.MaxWebReplicas+i), 2, 2<<30, 256)
+		inst.webDoms = append(inst.webDoms, d)
+	}
+	primaryVM := topo.MaxWebReplicas
+	primaryDom := hvFor(primaryVM).CreateGuest(fmt.Sprintf("mysql-vm-%d", pair), 2, 2<<30, 256)
+	inst.dbDoms = append(inst.dbDoms, primaryDom)
+	for j := 0; j < topo.DBReadReplicas; j++ {
+		d := hvFor(primaryVM+1+j).CreateGuest(fmt.Sprintf("mysql-ro-vm-%d", j), 2, 2<<30, 256)
+		inst.dbDoms = append(inst.dbDoms, d)
+	}
+	for _, d := range inst.webDoms {
+		d.Mem.Set("kernel", 50e6)
+	}
+	for _, d := range inst.dbDoms {
+		d.Mem.Set("kernel", 22e6)
+	}
+
+	// DB tier first (its checkpoint ticker precedes the web spill
+	// tickers in the event order, as before the refactor). Read
+	// replicas carry no engine reference: only the primary checkpoints
+	// the shared storage engine.
+	primaryBE := &tiers.VMBackend{HV: hvFor(primaryVM), Dom: primaryDom, Peer: inst.webDoms[0]}
+	primary := tiers.NewDBServer(k, primaryBE, app, tiers.DefaultDBParams("vm"))
+	var replicas []*tiers.DBServer
+	for j := 0; j < topo.DBReadReplicas; j++ {
+		dom := inst.dbDoms[1+j]
+		be := &tiers.VMBackend{HV: hvFor(primaryVM + 1 + j), Dom: dom}
+		params := tiers.DefaultDBParams("vm")
+		params.CheckpointEvery = 0
+		replicas = append(replicas, tiers.NewDBServer(k, be, nil, params))
+	}
+	inst.dbc = tiers.NewDBCluster(primary, replicas, topo.ReplicaLag())
+
+	webs := make([]*tiers.WebAppServer, 0, topo.MaxWebReplicas)
+	for i, dom := range inst.webDoms {
+		be := &tiers.VMBackend{HV: hvFor(i), Dom: dom, Peer: primaryDom}
+		paths := make([]tiers.PathPair, inst.dbc.Instances())
+		for j := range paths {
+			dbVM := primaryVM + j
+			dbDom := inst.dbDoms[j]
+			if topo.MachineFor(i) == topo.MachineFor(dbVM) {
+				hv := hvFor(i)
+				paths[j] = tiers.PathPair{
+					To:   tiers.VMPath(hv, dom, dbDom),
+					From: tiers.VMPath(hv, dbDom, dom),
+				}
+			} else {
+				paths[j] = tiers.PathPair{
+					To:   tiers.CrossVMPath(k, hvFor(i), dom, hvFor(dbVM), dbDom),
+					From: tiers.CrossVMPath(k, hvFor(dbVM), dbDom, hvFor(i), dom),
+				}
+			}
+		}
+		webs = append(webs, tiers.NewWebAppServer(k, be, inst.dbc, paths, tiers.DefaultWebParams("vm")))
+	}
+	inst.cluster = tiers.NewWebCluster(k, webs, topo.WebReplicas, tiers.NewLoadBalancer(topo.LB))
+	return inst
+}
+
+// clusterTargets builds the collector target list for a non-degenerate
+// topology: per-VM targets first (their snapshots tick the guest OS
+// clocks), then per-machine dom0s when there are several machines, then
+// non-ticking aggregates under the classic tier names so every existing
+// consumer of "webapp"/"mysql"/"dom0" keeps working at cluster scale.
+func clusterTargets(k *sim.Kernel, hvs []*xen.Hypervisor, inst *vmInstance) []sysstat.Target {
+	var ts []sysstat.Target
+	for i, d := range inst.webDoms {
+		ts = append(ts, sysstat.Target{Name: fmt.Sprintf("%s-%d", TierWeb, i), Snap: vmSnapshot(k, d)})
+	}
+	ts = append(ts, sysstat.Target{Name: TierDB + "-primary", Snap: vmSnapshot(k, inst.dbDoms[0])})
+	for j, d := range inst.dbDoms[1:] {
+		ts = append(ts, sysstat.Target{Name: fmt.Sprintf("%s-ro-%d", TierDB, j), Snap: vmSnapshot(k, d)})
+	}
+	if len(hvs) > 1 {
+		for m, hv := range hvs {
+			ts = append(ts, sysstat.Target{Name: fmt.Sprintf("%s-%d", TierDom0, m), Snap: dom0Snapshot(k, hv)})
+		}
+		ts = append(ts, sysstat.Target{Name: TierDom0, Snap: dom0AggSnapshot(k, hvs)})
+	} else {
+		ts = append(ts, sysstat.Target{Name: TierDom0, Snap: dom0Snapshot(k, hvs[0])})
+	}
+	ts = append(ts,
+		sysstat.Target{Name: TierWeb, Snap: vmAggSnapshot(k, inst.webDoms)},
+		sysstat.Target{Name: TierDB, Snap: vmAggSnapshot(k, inst.dbDoms)},
+	)
+	return ts
+}
+
+// vmAggSnapshot sums guest-visible counters across doms without
+// ticking their OS clocks — the per-VM targets, registered earlier in
+// the same collection round, own the ticks.
+func vmAggSnapshot(k *sim.Kernel, doms []*xen.Domain) func() sysstat.Snapshot {
+	return func() sysstat.Snapshot {
+		s := sysstat.Snapshot{At: k.Now(), FreqHz: 2.8e9}
+		for _, d := range doms {
+			l1, l5, l15 := d.OS.LoadAvg()
+			s.CPUCycles += d.VirtCycles()
+			s.CPUBusy += d.CPU.BusyTime()
+			s.StealTime += d.StealTime()
+			s.Cores += d.VCPUs
+			s.MemTotal += d.Mem.Capacity()
+			s.MemUsed += d.Mem.Used()
+			s.MemBuffers += d.Mem.Used() * 0.04
+			s.MemCached += d.Mem.Get("dbcache") + d.Mem.Get("pagecache")
+			s.DiskReadBytes += d.DiskReadBytes
+			s.DiskWriteBytes += d.DiskWrittenBytes
+			s.DiskReadOps += d.DiskOps / 2
+			s.DiskWriteOps += d.DiskOps - d.DiskOps/2
+			s.NetRxBytes += d.NetRxBytes
+			s.NetTxBytes += d.NetTxBytes
+			s.NetRxPkts += uint64(d.NetRxBytes/1500) + 1
+			s.NetTxPkts += uint64(d.NetTxBytes/1500) + 1
+			s.CtxSwitches += d.OS.CtxSwitches
+			s.Interrupts += d.OS.Interrupts
+			s.SoftIRQs += d.OS.SoftIRQs
+			s.Forks += d.OS.Forks
+			s.Faults += d.OS.Faults
+			s.MajFaults += d.OS.MajFaults
+			s.PgInBytes += d.OS.PgInBytes
+			s.PgOutBytes += d.OS.PgOutBytes
+			s.Procs += d.OS.Procs
+			s.RunQueue += d.OS.RunQueue
+			s.Blocked += d.OS.Blocked
+			s.OpenFds += d.OS.OpenFds
+			s.TCPSocks += 40 + d.OS.RunQueue*2
+			s.UDPSocks += 4
+			s.Load1 += l1
+			s.Load5 += l5
+			s.Load15 += l15
+		}
+		return s
+	}
+}
+
+// dom0AggSnapshot sums dom0 and host-device counters across machines
+// without ticking (the per-machine dom0 targets own the ticks).
+func dom0AggSnapshot(k *sim.Kernel, hvs []*xen.Hypervisor) func() sysstat.Snapshot {
+	return func() sysstat.Snapshot {
+		var s sysstat.Snapshot
+		s.At = k.Now()
+		for _, hv := range hvs {
+			d := hv.Dom0()
+			host := hv.Host()
+			l1, l5, l15 := d.OS.LoadAvg()
+			rops, wops := host.Disk.Ops()
+			rpk, tpk := host.NIC.Packets()
+			s.CPUCycles += d.CPU.TotalCycles()
+			s.CPUBusy += d.CPU.BusyTime()
+			s.Cores += d.VCPUs
+			s.FreqHz = host.Spec.FreqHz
+			s.MemTotal += d.Mem.Capacity()
+			s.MemUsed += d.Mem.Used()
+			s.MemBuffers += d.Mem.Get("backend-buffers")
+			s.MemCached += d.Mem.Get("pagecache")
+			s.DiskReadBytes += host.Disk.ReadBytes()
+			s.DiskWriteBytes += host.Disk.WrittenBytes()
+			s.DiskReadOps += rops
+			s.DiskWriteOps += wops
+			s.DiskBusy += host.Disk.BusyTime()
+			s.NetRxBytes += host.NIC.RxBytes()
+			s.NetTxBytes += host.NIC.TxBytes()
+			s.NetRxPkts += rpk
+			s.NetTxPkts += tpk
+			s.CtxSwitches += d.OS.CtxSwitches
+			s.Interrupts += d.OS.Interrupts
+			s.SoftIRQs += d.OS.SoftIRQs
+			s.Forks += d.OS.Forks
+			s.Faults += d.OS.Faults
+			s.MajFaults += d.OS.MajFaults
+			s.PgInBytes += d.OS.PgInBytes
+			s.PgOutBytes += d.OS.PgOutBytes
+			s.Procs += d.OS.Procs
+			s.RunQueue += d.OS.RunQueue
+			s.Blocked += d.OS.Blocked
+			s.OpenFds += d.OS.OpenFds
+			s.TCPSocks += 35
+			s.UDPSocks += 6
+			s.Load1 += l1
+			s.Load5 += l5
+			s.Load15 += l15
+		}
+		return s
+	}
+}

@@ -62,6 +62,18 @@ func (c Config) Validate() error {
 	if c.Pairs > 1 && c.Environment != Virtualized {
 		return fmt.Errorf("experiment: consolidation requires the virtualized deployment")
 	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		norm := c.Topology.Normalized()
+		if c.Environment != Virtualized && !norm.IsDegenerate() {
+			return fmt.Errorf("experiment: cluster topologies require the virtualized deployment")
+		}
+		if c.Pairs > 1 && !norm.IsDegenerate() {
+			return fmt.Errorf("experiment: cluster topologies are incompatible with consolidation pairs")
+		}
+	}
 	return nil
 }
 

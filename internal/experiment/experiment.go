@@ -90,6 +90,14 @@ type Config struct {
 	// ignored. Nil preserves the paper's fixed-population behaviour
 	// byte for byte.
 	Load *load.Spec
+	// Topology, when non-nil, replaces the paper's fixed web-VM/DB-VM
+	// pair with a replicated cluster: N web replicas behind a load
+	// balancer, a DB primary with optional read replicas, explicit
+	// VM-to-machine placement, and an optional autoscaler. Nil — or a
+	// degenerate 1-web/1-DB/1-machine topology — reproduces the paper's
+	// single-pair assembly byte for byte. Virtualized only (the physical
+	// testbed is two fixed servers); incompatible with Pairs > 1.
+	Topology *tiers.Topology
 }
 
 // DefaultConfig returns the paper's experimental setup for env and mix.
@@ -116,6 +124,18 @@ type PairStat struct {
 	Completed    uint64
 	MeanRespTime float64
 	P95RespTime  float64
+}
+
+// ScalingStats summarizes the autoscaler's run: how often it acted,
+// how far it grew, and how long the first scale-up took from the start
+// of the run — the flash-crowd "time to scale" headline.
+type ScalingStats struct {
+	ScaleUps     int
+	ScaleDowns   int
+	PeakReplicas int
+	// FirstUpAt is the activation instant of the first scale-up (boot
+	// delay included); zero when the autoscaler never fired.
+	FirstUpAt sim.Time
 }
 
 // Result is one completed run.
@@ -160,6 +180,27 @@ type Result struct {
 	// Sessions is the open-loop session-churn accounting, summed across
 	// co-located instances; nil for closed-loop runs.
 	Sessions *tiers.SessionStats
+
+	// Tiers lists the collector targets in registration order — the
+	// classic {webapp, mysql, dom0} for degenerate runs, per-replica
+	// targets plus tier aggregates for cluster topologies.
+	Tiers []string
+
+	// ScaleEvents is the web cluster's scale-event log (boot, up, down)
+	// in time order; empty without an autoscaler.
+	ScaleEvents []tiers.ScaleEvent
+	// Scaling summarizes the scale events; nil for runs without a
+	// cluster topology.
+	Scaling *ScalingStats
+	// ReplicaServed counts dispatched requests per web replica slot;
+	// nil for degenerate runs.
+	ReplicaServed []uint64
+
+	// ServedHist is the primary driver's run-level response-time
+	// histogram over every served response; AbandonedHist is the subset
+	// whose latency drove its session away. Together they split SLO debt
+	// into served-slow and driven-away (characterize.AnalyzeScaling).
+	ServedHist, AbandonedHist *telemetry.Hist
 }
 
 // CPU returns the per-2s cycle demand series for tier ("webapp",
@@ -190,16 +231,18 @@ func Run(cfg Config) (*Result, error) {
 	costs := rubis.DefaultCostParams()
 
 	res := &Result{Config: cfg}
-	var web *tiers.WebAppServer
+	var growthWebs []*tiers.WebAppServer
 	var collector *sysstat.Collector
 	var hv *xen.Hypervisor
 	var drivers []tiers.LoadGen
 	var app *rubis.App
+	var inst *vmInstance
+	var topo tiers.Topology
 
 	// newDriver picks the workload shape: the paper's closed loop when
 	// cfg.Load is nil, the open-loop generator otherwise. Each instance
 	// gets its own arrival process (they are stateful) and RNG source.
-	newDriver := func(app *rubis.App, web *tiers.WebAppServer, src *rng.Source) (tiers.LoadGen, error) {
+	newDriver := func(app *rubis.App, web tiers.Frontend, src *rng.Source) (tiers.LoadGen, error) {
 		if cfg.Load == nil {
 			return tiers.NewDriver(k, app, model, web, costs, cfg.Clients, src), nil
 		}
@@ -212,39 +255,46 @@ func Run(cfg Config) (*Result, error) {
 
 	switch cfg.Environment {
 	case Virtualized:
-		host := hw.NewServer(k, hw.ProLiantSpec("host0"))
+		if cfg.Topology != nil {
+			topo = *cfg.Topology
+		}
+		topo = topo.Normalized()
 		xp := xen.DefaultParams()
 		if cfg.XenParams != nil {
 			xp = *cfg.XenParams
 		}
-		hv = xen.New(k, host, xp)
+		hvs := make([]*xen.Hypervisor, topo.Machines)
+		for m := range hvs {
+			host := hw.NewServer(k, hw.ProLiantSpec(fmt.Sprintf("host%d", m)))
+			hvs[m] = xen.New(k, host, xp)
+		}
+		hv = hvs[0]
 		for p := 0; p < pairs; p++ {
 			appP, err := rubis.NewApp(cfg.Dataset, src.Stream(fmt.Sprintf("dataset-%d", p)))
 			if err != nil {
 				return nil, fmt.Errorf("experiment: dataset %d: %w", p, err)
 			}
-			webDom := hv.CreateGuest(fmt.Sprintf("webapp-vm-%d", p), 2, 2<<30, 256)
-			dbDom := hv.CreateGuest(fmt.Sprintf("mysql-vm-%d", p), 2, 2<<30, 256)
-			webDom.Mem.Set("kernel", 50e6)
-			dbDom.Mem.Set("kernel", 22e6)
-
-			webBE := &tiers.VMBackend{HV: hv, Dom: webDom, Peer: dbDom}
-			dbBE := &tiers.VMBackend{HV: hv, Dom: dbDom, Peer: webDom}
-			dbP := tiers.NewDBServer(k, dbBE, appP, tiers.DefaultDBParams("vm"))
-			webP := tiers.NewWebAppServer(k, webBE, dbP, tiers.DefaultWebParams("vm"))
-			drv, err := newDriver(appP, webP, rng.NewSource(cfg.Seed+uint64(p)*7919))
+			instP := buildVMInstance(k, hvs, topo, p, appP)
+			drv, err := newDriver(appP, instP.cluster, rng.NewSource(cfg.Seed+uint64(p)*7919))
 			if err != nil {
 				return nil, err
 			}
 			drivers = append(drivers, drv)
+			growthWebs = append(growthWebs, instP.cluster.Replicas...)
 			if p == 0 {
 				app = appP
-				web = webP
-				collector = sysstat.NewCollector(k, cfg.KeepFullCatalog,
-					sysstat.Target{Name: TierWeb, Snap: vmSnapshot(k, webDom)},
-					sysstat.Target{Name: TierDB, Snap: vmSnapshot(k, dbDom)},
-					sysstat.Target{Name: TierDom0, Snap: dom0Snapshot(k, hv)},
-				)
+				inst = instP
+				if topo.IsDegenerate() {
+					// The paper's exact target set — the golden sweep hash
+					// pins this path.
+					collector = sysstat.NewCollector(k, cfg.KeepFullCatalog,
+						sysstat.Target{Name: TierWeb, Snap: vmSnapshot(k, instP.webDoms[0])},
+						sysstat.Target{Name: TierDB, Snap: vmSnapshot(k, instP.dbDoms[0])},
+						sysstat.Target{Name: TierDom0, Snap: dom0Snapshot(k, hv)},
+					)
+				} else {
+					collector = sysstat.NewCollector(k, cfg.KeepFullCatalog, clusterTargets(k, hvs, instP)...)
+				}
 			}
 		}
 		_ = app
@@ -265,8 +315,11 @@ func Run(cfg Config) (*Result, error) {
 		webBE := tiers.NewPMBackend(k, webSrv, dbSrv, tiers.DefaultPMParams("web"), src.Stream("pm-web-noise"), webOS)
 		dbBE := tiers.NewPMBackend(k, dbSrv, webSrv, tiers.DefaultPMParams("db"), src.Stream("pm-db-noise"), dbOS)
 		db := tiers.NewDBServer(k, dbBE, app, tiers.DefaultDBParams("pm"))
-		web = tiers.NewWebAppServer(k, webBE, db, tiers.DefaultWebParams("pm"))
-		drv, err := newDriver(app, web, src)
+		dbc := tiers.NewDBCluster(db, nil, 0)
+		paths := []tiers.PathPair{{To: tiers.PMPath(webBE), From: tiers.PMPath(dbBE)}}
+		webPM := tiers.NewWebAppServer(k, webBE, dbc, paths, tiers.DefaultWebParams("pm"))
+		growthWebs = append(growthWebs, webPM)
+		drv, err := newDriver(app, tiers.NewWebCluster(k, []*tiers.WebAppServer{webPM}, 1, nil), src)
 		if err != nil {
 			return nil, err
 		}
@@ -291,9 +344,19 @@ func Run(cfg Config) (*Result, error) {
 	// duration-derived window count up front keeps rotation
 	// allocation-free for the whole run.
 	windows := int(cfg.Duration / sysstat.SampleInterval)
+	if inst != nil && !topo.IsDegenerate() {
+		// Materialize the replicas series before capacity is reserved.
+		drivers[0].SetReplicaGauge(inst.cluster.ActiveReplicas)
+	}
 	for _, drv := range drivers {
 		drv.ReserveWindows(windows)
 		collector.OnSample(drv.RotateWindow)
+	}
+	if inst != nil && topo.Autoscaler != nil {
+		// Registered after the drivers' RotateWindow hooks, so each
+		// sample the autoscaler sees the window that just closed.
+		scaler := tiers.NewAutoscaler(inst.cluster, drivers[0].Telemetry(), *topo.Autoscaler)
+		collector.OnSample(scaler.OnSample)
 	}
 	collector.Start()
 	startLoadTicker(k, collector)
@@ -328,8 +391,31 @@ func Run(cfg Config) (*Result, error) {
 	res.MeanRespTime = primary.MeanResponseTime()
 	res.P95RespTime = primary.ResponseTimeQuantile(0.95)
 	res.Telemetry = primary.Telemetry()
-	res.WebGrowths = web.Growths()
+	for _, w := range growthWebs {
+		res.WebGrowths += w.Growths()
+	}
 	res.Interactions = primary.InteractionCounts()
+	res.Tiers = collector.TargetNames()
+	res.ServedHist, res.AbandonedHist = primary.Hists()
+	if inst != nil && !topo.IsDegenerate() {
+		res.ScaleEvents = inst.cluster.Events
+		st := &ScalingStats{PeakReplicas: inst.cluster.PeakActive()}
+		for _, e := range inst.cluster.Events {
+			switch e.Kind {
+			case "up":
+				st.ScaleUps++
+				if st.FirstUpAt == 0 {
+					st.FirstUpAt = e.At
+				}
+			case "down":
+				st.ScaleDowns++
+			}
+		}
+		res.Scaling = st
+		for _, w := range inst.cluster.Replicas {
+			res.ReplicaServed = append(res.ReplicaServed, w.Dispatched)
+		}
+	}
 	if hv != nil {
 		res.Attribution = hv.Attribution()
 		res.GuestPhysCycles = hv.GuestPhysCycles()

@@ -110,7 +110,7 @@ func TestTelemetryAlignsWithCollector(t *testing.T) {
 		t.Fatal("no telemetry on closed-loop result")
 	}
 	cpu := r.CPU(TierWeb)
-	for _, s := range tel.All() {
+	for _, s := range tel.Present() {
 		if s.Len() != r.Collector.Samples {
 			t.Fatalf("%s has %d windows, collector took %d samples", s.Name, s.Len(), r.Collector.Samples)
 		}

@@ -13,8 +13,29 @@ type Panel struct {
 	Title string
 	// Unit labels the Y axis.
 	Unit string
-	// Browse and Bid are the two overlaid curves.
+	// Browse and Bid are the two overlaid curves. Single-run panels
+	// (the saturation figure) may leave Bid nil.
 	Browse, Bid *timeseries.Series
+	// Overlays are additional curves drawn over the pair — the
+	// saturation figure overlays the active-replica count on the
+	// CPU/latency pairing.
+	Overlays []*timeseries.Series
+}
+
+// Series lists the panel's non-nil curves in draw order.
+func (p *Panel) Series() []*timeseries.Series {
+	out := make([]*timeseries.Series, 0, 2+len(p.Overlays))
+	for _, s := range []*timeseries.Series{p.Browse, p.Bid} {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	for _, s := range p.Overlays {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Figure is one of the paper's Figures 1-8.
@@ -79,6 +100,57 @@ func unitFor(resource, env string) string {
 		return prefix + " data received & transmitted (KB / 2s)"
 	}
 	return ""
+}
+
+// normalizedTo clones s under name with values scaled so the peak is
+// 1.0, letting series of different units share one axis.
+func normalizedTo(s *timeseries.Series, name string) *timeseries.Series {
+	c := s.Clone(name)
+	c.Unit = "fraction of peak"
+	if m := c.Max(); m > 0 {
+		for i := range c.Values {
+			c.Values[i] /= m
+		}
+	}
+	return c
+}
+
+// BuildSaturationFigure assembles the Figure 9-style saturation panel
+// from one run: the web tier's CPU demand paired with the per-window
+// latency p95 on a shared peak-normalized axis, with the active
+// web-replica count overlaid when the run had a cluster topology. The
+// paper's Figures 1-8 show resources and the workload separately; this
+// panel shows the causal pairing — CPU saturating, latency detaching
+// from it, and (with an autoscaler) capacity arriving.
+func BuildSaturationFigure(r *Result) (Figure, error) {
+	if r.Telemetry == nil || r.Telemetry.LatencyP95 == nil {
+		return Figure{}, fmt.Errorf("experiment: saturation figure needs windowed telemetry")
+	}
+	cpu := r.CPU(TierWeb)
+	if cpu == nil {
+		return Figure{}, fmt.Errorf("experiment: saturation figure needs a %q collector target", TierWeb)
+	}
+	panel := Panel{
+		Title:  "Web CPU vs latency p95 (peak-normalized)",
+		Unit:   "fraction of peak",
+		Browse: normalizedTo(cpu, "web_cpu"),
+		Bid:    normalizedTo(r.Telemetry.LatencyP95, "latency_p95"),
+	}
+	fig := Figure{
+		ID:      9,
+		Caption: "Web-tier CPU demand against per-window latency p95, with the active replica count where the run autoscaled",
+		Env:     r.Config.Environment,
+	}
+	if rep := r.Telemetry.Replicas; rep != nil && rep.Len() > 0 {
+		panel.Overlays = append(panel.Overlays, normalizedTo(rep, "replicas"))
+		fig.Panels = append(fig.Panels, Panel{
+			Title:  "Active web replicas",
+			Unit:   "replicas",
+			Browse: rep.Clone("replicas"),
+		})
+	}
+	fig.Panels = append([]Panel{panel}, fig.Panels...)
+	return fig, nil
 }
 
 // BuildFigure assembles figure id from a (browse, bid) run pair of the

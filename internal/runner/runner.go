@@ -376,6 +376,18 @@ const (
 	MetricSessionsPeak      = "sessions_peak"
 )
 
+// Cluster scaling metrics, present only on runs with a cluster
+// topology (Result.Scaling non-nil).
+const (
+	MetricReplicasPeak = "replicas_peak"
+	MetricScaleUps     = "scale_ups"
+	MetricScaleDowns   = "scale_downs"
+	// MetricTimeToScale is the first scale-up's activation instant in
+	// seconds from run start (boot delay included); 0 when the
+	// autoscaler never fired.
+	MetricTimeToScale = "time_to_scale_s"
+)
+
 // MetricCPU, MetricMem, MetricDisk and MetricNet name the per-tier
 // aggregates; use these instead of hand-concatenating metric names so a
 // typo is a compile-time symbol error, not a silent zero Metric.
@@ -407,7 +419,22 @@ func scalars(r *experiment.Result) []NamedMetric {
 			NamedMetric{MetricSessionsPeak, Metric{Mean: float64(r.Sessions.PeakActive)}},
 		)
 	}
-	for _, tier := range []string{experiment.TierWeb, experiment.TierDB, experiment.TierDom0} {
+	if r.Scaling != nil {
+		out = append(out,
+			NamedMetric{MetricReplicasPeak, Metric{Mean: float64(r.Scaling.PeakReplicas)}},
+			NamedMetric{MetricScaleUps, Metric{Mean: float64(r.Scaling.ScaleUps)}},
+			NamedMetric{MetricScaleDowns, Metric{Mean: float64(r.Scaling.ScaleDowns)}},
+			NamedMetric{MetricTimeToScale, Metric{Mean: r.Scaling.FirstUpAt.Sec()}},
+		)
+	}
+	// Resource scalars over the run's actual collector targets — the
+	// classic three tiers on degenerate runs, per-replica targets plus
+	// tier aggregates on cluster topologies.
+	tiers := r.Tiers
+	if len(tiers) == 0 {
+		tiers = []string{experiment.TierWeb, experiment.TierDB, experiment.TierDom0}
+	}
+	for _, tier := range tiers {
 		if r.CPU(tier) == nil {
 			continue
 		}

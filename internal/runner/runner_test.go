@@ -11,7 +11,6 @@ import (
 	"vwchar/internal/load"
 	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
-	"vwchar/internal/telemetry"
 )
 
 // tinyConfig returns a configuration small enough that a replication
@@ -175,8 +174,8 @@ func TestSeriesAggregates(t *testing.T) {
 		t.Fatal(err)
 	}
 	virt := &sr.Points[0]
-	if len(virt.Series) != len(telemetry.SeriesNames) {
-		t.Fatalf("aggregated %d series, want %d", len(virt.Series), len(telemetry.SeriesNames))
+	if got, want := len(virt.Series), len(virt.Reps[0].Telemetry.Present()); got != want {
+		t.Fatalf("aggregated %d series, want %d (every present series)", got, want)
 	}
 	p95 := virt.SeriesAgg("latency_p95_ms")
 	if p95 == nil || p95.N != 2 {

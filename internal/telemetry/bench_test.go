@@ -12,7 +12,7 @@ func BenchmarkLatencyRecord(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec.Record(v)
+		rec.Record(v, i&1 == 1)
 		v *= 1.000001
 		if v > 100 {
 			v = 0.0001
@@ -34,10 +34,10 @@ func BenchmarkWindowRotate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// A plausible window: a burst of mixed fast/slow responses.
-		rec.Record(0.004)
-		rec.Record(0.009)
-		rec.Record(0.012)
-		rec.Record(0.250)
+		rec.Record(0.004, false)
+		rec.Record(0.009, false)
+		rec.Record(0.012, false)
+		rec.Record(0.250, false)
 		rec.NoteStart()
 		rec.NoteEnd()
 		rec.Rotate(7)

@@ -172,6 +172,63 @@ func (h *Hist) Quantile(q float64) float64 {
 	return h.max
 }
 
+// CountAbove reports how many observations exceeded v (seconds), at
+// histogram resolution: whole bins above v's bin are counted, so the
+// boundary is fuzzy by at most RelativeErrorBound. The SLO-debt
+// accounting in internal/characterize is built on this.
+func (h *Hist) CountAbove(v float64) uint64 {
+	if h.n == 0 || v >= h.max {
+		return 0
+	}
+	if v < h.min {
+		return h.n
+	}
+	start := binIndex(v) + 1
+	if start < h.lo {
+		start = h.lo
+	}
+	var cum uint64
+	for i := start; i <= h.hi; i++ {
+		cum += h.counts[i]
+	}
+	return cum
+}
+
+// ExcessAbove reports the summed exceedance sum(max(0, x-v)) in
+// seconds over observations above v — the run's SLO debt against
+// objective v — using each bin's representative value (midpoint,
+// clamped to the exact extremes).
+func (h *Hist) ExcessAbove(v float64) float64 {
+	if h.n == 0 || v >= h.max {
+		return 0
+	}
+	start := binIndex(v) + 1
+	if start < h.lo {
+		start = h.lo
+	}
+	var debt float64
+	for i := start; i <= h.hi; i++ {
+		if h.counts[i] == 0 {
+			continue
+		}
+		bv := binValue(i)
+		switch i {
+		case 0:
+			bv = h.min
+		case numBins + 1:
+			bv = h.max
+		}
+		if bv > h.max {
+			bv = h.max
+		}
+		if bv <= v {
+			continue
+		}
+		debt += float64(h.counts[i]) * (bv - v)
+	}
+	return debt
+}
+
 // Merge folds other into h: counts, totals, and extremes. Merging
 // window histograms reproduces the run histogram bit for bit (counts
 // are integers; sums are folded in merge order).

@@ -28,6 +28,10 @@ var SeriesNames = []string{
 	"inflight",
 	"sessions_started",
 	"sessions_ended",
+	"latency_read_p95_ms",
+	"latency_rw_p95_ms",
+	"abandoned_sessions",
+	"replicas",
 }
 
 // WindowSeries is the per-window output of a Recorder: one sample per
@@ -44,17 +48,41 @@ type WindowSeries struct {
 	// Starts and Ends count session churn within the window; all-zero
 	// for the closed-loop driver, whose population is fixed.
 	Starts, Ends *timeseries.Series
+	// LatencyReadP95 and LatencyRWP95 split the window p95 by
+	// interaction class (read-only vs read-write), so figures show which
+	// class saturates first.
+	LatencyReadP95, LatencyRWP95 *timeseries.Series
+	// Abandoned counts sessions driven away within the window by an
+	// SLO-violating response.
+	Abandoned *timeseries.Series
+	// Replicas is the active web-replica gauge at each window boundary;
+	// nil unless a replica gauge was wired (cluster runs).
+	Replicas *timeseries.Series
 }
 
-// All lists the series in SeriesNames order.
+// All lists the series in SeriesNames order. Entries may be nil (the
+// replica gauge is only present on cluster runs); Present filters.
 func (w *WindowSeries) All() []*timeseries.Series {
 	return []*timeseries.Series{
 		w.LatencyMean, w.LatencyP50, w.LatencyP95, w.LatencyP99,
 		w.Throughput, w.Inflight, w.Starts, w.Ends,
+		w.LatencyReadP95, w.LatencyRWP95, w.Abandoned, w.Replicas,
 	}
 }
 
-// ByName returns the named series, or nil for an unknown name.
+// Present lists the non-nil series in SeriesNames order.
+func (w *WindowSeries) Present() []*timeseries.Series {
+	all := w.All()
+	out := make([]*timeseries.Series, 0, len(all))
+	for _, s := range all {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName returns the named series, or nil for an unknown or absent name.
 func (w *WindowSeries) ByName(name string) *timeseries.Series {
 	for i, s := range w.All() {
 		if SeriesNames[i] == name {
@@ -72,12 +100,27 @@ func (w *WindowSeries) Windows() int { return w.LatencyP95.Len() }
 // from the sysstat collector's sampling ticker, which is what aligns
 // the emitted series with the resource series sample for sample.
 type Recorder struct {
-	windowSec float64
+	windowSec  float64
+	windowHint int
 
 	// win is the current window's histogram; run is the whole-run
-	// merge, recorded in the same pass (one bin computation, two
-	// increments).
+	// merge, recorded in the same pass (one bin computation shared by
+	// every increment).
 	win, run Hist
+
+	// winClass/runClass attribute the same observations by interaction
+	// class: index 0 is read-only, 1 is read-write.
+	winClass, runClass [2]Hist
+
+	// abandon is the run-level histogram of responses whose latency
+	// drove their session away (a subset of run); winAbandons counts
+	// them within the current window.
+	abandon     Hist
+	winAbandons uint64
+
+	// replicaGauge, when wired, samples the active web-replica count at
+	// each window boundary into the Replicas series.
+	replicaGauge func() int
 
 	// exact is the bounded exact reservoir backing small-count
 	// run-level quantiles; sorted tracks whether it is currently in
@@ -99,40 +142,69 @@ type Recorder struct {
 // recording never allocates either — the open-loop driver's zero-alloc
 // discipline.
 func NewRecorder(windowSec float64, windowHint int, prealloc bool) *Recorder {
-	r := &Recorder{windowSec: windowSec, exactCap: DefaultExactCap}
+	r := &Recorder{windowSec: windowSec, windowHint: windowHint, exactCap: DefaultExactCap}
 	if prealloc {
 		r.exact = make([]float64, 0, r.exactCap)
 	}
-	newSeries := func(name, unit string) *timeseries.Series {
-		s := &timeseries.Series{Name: name, Unit: unit, Interval: windowSec}
-		if windowHint > 0 {
-			s.Values = make([]float64, 0, windowHint)
-		}
-		return s
-	}
 	r.series = WindowSeries{
-		LatencyMean: newSeries(SeriesNames[0], "ms"),
-		LatencyP50:  newSeries(SeriesNames[1], "ms"),
-		LatencyP95:  newSeries(SeriesNames[2], "ms"),
-		LatencyP99:  newSeries(SeriesNames[3], "ms"),
-		Throughput:  newSeries(SeriesNames[4], "req/s"),
-		Inflight:    newSeries(SeriesNames[5], "requests"),
-		Starts:      newSeries(SeriesNames[6], "sessions/window"),
-		Ends:        newSeries(SeriesNames[7], "sessions/window"),
+		LatencyMean:    r.newSeries(SeriesNames[0], "ms"),
+		LatencyP50:     r.newSeries(SeriesNames[1], "ms"),
+		LatencyP95:     r.newSeries(SeriesNames[2], "ms"),
+		LatencyP99:     r.newSeries(SeriesNames[3], "ms"),
+		Throughput:     r.newSeries(SeriesNames[4], "req/s"),
+		Inflight:       r.newSeries(SeriesNames[5], "requests"),
+		Starts:         r.newSeries(SeriesNames[6], "sessions/window"),
+		Ends:           r.newSeries(SeriesNames[7], "sessions/window"),
+		LatencyReadP95: r.newSeries(SeriesNames[8], "ms"),
+		LatencyRWP95:   r.newSeries(SeriesNames[9], "ms"),
+		Abandoned:      r.newSeries(SeriesNames[10], "sessions/window"),
 	}
 	return r
 }
 
-// Record adds one response-time observation in seconds. Allocation-free
+func (r *Recorder) newSeries(name, unit string) *timeseries.Series {
+	s := &timeseries.Series{Name: name, Unit: unit, Interval: r.windowSec}
+	if r.windowHint > 0 {
+		s.Values = make([]float64, 0, r.windowHint)
+	}
+	return s
+}
+
+// SetReplicaGauge wires the active-replica gauge and materializes the
+// Replicas series; absent a gauge the series stays nil and consumers
+// skip it. Cluster assembly calls this before ReserveWindows.
+func (r *Recorder) SetReplicaGauge(fn func() int) {
+	r.replicaGauge = fn
+	if fn != nil && r.series.Replicas == nil {
+		r.series.Replicas = r.newSeries(SeriesNames[11], "replicas")
+	}
+}
+
+// Record adds one response-time observation in seconds, attributed to
+// its interaction class (isWrite selects read-write). Allocation-free
 // once the reservoir is at capacity (or was preallocated).
-func (r *Recorder) Record(rt float64) {
+func (r *Recorder) Record(rt float64, isWrite bool) {
 	i := binIndex(rt)
 	r.win.recordAt(rt, i)
 	r.run.recordAt(rt, i)
+	cls := 0
+	if isWrite {
+		cls = 1
+	}
+	r.winClass[cls].recordAt(rt, i)
+	r.runClass[cls].recordAt(rt, i)
 	if len(r.exact) < r.exactCap {
 		r.exact = append(r.exact, rt)
 		r.sorted = false
 	}
+}
+
+// NoteAbandon records the response time (seconds) that drove a session
+// away. The observation is already in the main histograms via Record;
+// this attributes it to demand lost rather than served.
+func (r *Recorder) NoteAbandon(rt float64) {
+	r.abandon.Record(rt)
+	r.winAbandons++
 }
 
 // recordAt is Record with the bin precomputed, so the recorder pays
@@ -181,8 +253,17 @@ func (r *Recorder) Rotate(inflight int) {
 	r.series.Inflight.Append(float64(inflight))
 	r.series.Starts.Append(float64(r.starts))
 	r.series.Ends.Append(float64(r.ends))
+	r.series.LatencyReadP95.Append(r.winClass[0].Quantile(0.95) * 1e3)
+	r.series.LatencyRWP95.Append(r.winClass[1].Quantile(0.95) * 1e3)
+	r.series.Abandoned.Append(float64(r.winAbandons))
+	if r.series.Replicas != nil {
+		r.series.Replicas.Append(float64(r.replicaGauge()))
+	}
 	w.Reset()
+	r.winClass[0].Reset()
+	r.winClass[1].Reset()
 	r.starts, r.ends = 0, 0
+	r.winAbandons = 0
 }
 
 // ReserveWindows grows every series' capacity to hold n windows, so
@@ -191,7 +272,7 @@ func (r *Recorder) Rotate(inflight int) {
 // starts; the capacity hint at construction covers callers that know
 // the horizon up front.
 func (r *Recorder) ReserveWindows(n int) {
-	for _, s := range r.series.All() {
+	for _, s := range r.series.Present() {
 		if cap(s.Values)-len(s.Values) < n {
 			grown := make([]float64, len(s.Values), len(s.Values)+n)
 			copy(grown, s.Values)
@@ -239,3 +320,19 @@ func (r *Recorder) Quantile(q float64) float64 {
 // ExactLen reports how many observations the exact reservoir holds —
 // the memory-regression tests pin that it never exceeds DefaultExactCap.
 func (r *Recorder) ExactLen() int { return len(r.exact) }
+
+// RunHist exposes the run-level histogram over every served response.
+func (r *Recorder) RunHist() *Hist { return &r.run }
+
+// AbandonedHist exposes the run-level histogram of responses that
+// drove their session away — the "driven away" half of SLO-debt
+// accounting (RunHist minus this is demand served, however slowly).
+func (r *Recorder) AbandonedHist() *Hist { return &r.abandon }
+
+// ClassHist exposes the run-level histogram for one interaction class.
+func (r *Recorder) ClassHist(isWrite bool) *Hist {
+	if isWrite {
+		return &r.runClass[1]
+	}
+	return &r.runClass[0]
+}

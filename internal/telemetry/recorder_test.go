@@ -16,14 +16,14 @@ func TestRecorderWindowSeries(t *testing.T) {
 	// Window 1: four fast responses, one session starting and ending.
 	rec.NoteStart()
 	for _, rt := range []float64{0.010, 0.010, 0.010, 0.030} {
-		rec.Record(rt)
+		rec.Record(rt, false)
 	}
 	rec.NoteEnd()
 	rec.Rotate(3)
 
 	// Window 2: two slow responses.
-	rec.Record(1.0)
-	rec.Record(2.0)
+	rec.Record(1.0, false)
+	rec.Record(2.0, false)
 	rec.Rotate(1)
 
 	s := rec.Series()
@@ -63,10 +63,17 @@ func TestRecorderWindowSeries(t *testing.T) {
 		t.Errorf("run mean = %v, want %v", got, want)
 	}
 	for i := range SeriesNames {
-		if got := s.All()[i].Name; got != SeriesNames[i] {
-			t.Errorf("series %d named %q, want %q", i, got, SeriesNames[i])
+		sr := s.All()[i]
+		if sr == nil {
+			if SeriesNames[i] != "replicas" {
+				t.Errorf("series %q absent without a replica gauge", SeriesNames[i])
+			}
+			continue
 		}
-		if s.ByName(SeriesNames[i]) != s.All()[i] {
+		if sr.Name != SeriesNames[i] {
+			t.Errorf("series %d named %q, want %q", i, sr.Name, SeriesNames[i])
+		}
+		if s.ByName(SeriesNames[i]) != sr {
 			t.Errorf("ByName(%q) mismatch", SeriesNames[i])
 		}
 	}
@@ -84,7 +91,7 @@ func TestRecorderExactQuantileEquivalence(t *testing.T) {
 	var xs []float64
 	for i := 0; i < 5000; i++ {
 		v := r.LogNormal(math.Log(0.02), 1.0)
-		rec.Record(v)
+		rec.Record(v, false)
 		xs = append(xs, v)
 		if i%97 == 0 {
 			rec.Rotate(0)
@@ -97,7 +104,7 @@ func TestRecorderExactQuantileEquivalence(t *testing.T) {
 	}
 	// Interleaving reads and writes keeps the reservoir coherent: a
 	// record after a sort dirties it again.
-	rec.Record(1e9)
+	rec.Record(1e9, false)
 	if got, want := rec.Quantile(1), 1e9; got != want {
 		t.Fatalf("post-sort record lost: q1 = %v, want %v", got, want)
 	}
@@ -116,7 +123,7 @@ func TestRecorderHistogramFallback(t *testing.T) {
 	xs := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		v := r.LogNormal(math.Log(0.05), 0.8)
-		rec.Record(v)
+		rec.Record(v, false)
 		xs = append(xs, v)
 	}
 	if rec.ExactLen() != DefaultExactCap {
@@ -139,7 +146,7 @@ func TestRecorderMemoryBounded(t *testing.T) {
 	rec := NewRecorder(2, 0, false)
 	r := rng.NewSource(9).Stream("mem")
 	for i := 0; i < 1_000_000; i++ {
-		rec.Record(r.Exp(0.01))
+		rec.Record(r.Exp(0.01), false)
 	}
 	if got := rec.ExactLen(); got > DefaultExactCap {
 		t.Fatalf("exact reservoir holds %d > cap %d", got, DefaultExactCap)
@@ -162,7 +169,7 @@ func TestRecorderSteadyStateZeroAlloc(t *testing.T) {
 	v := 0.001
 	allocs := testing.AllocsPerRun(10000, func() {
 		rec.NoteStart()
-		rec.Record(v)
+		rec.Record(v, false)
 		rec.NoteEnd()
 		v *= 1.0002
 	})
@@ -178,8 +185,8 @@ func TestRecorderRotateZeroAllocWithinHint(t *testing.T) {
 	const hint = 20100
 	rec := NewRecorder(2, hint, true)
 	allocs := testing.AllocsPerRun(20000, func() {
-		rec.Record(0.01)
-		rec.Record(0.05)
+		rec.Record(0.01, false)
+		rec.Record(0.05, false)
 		rec.Rotate(1)
 	})
 	if allocs != 0 {
@@ -196,14 +203,14 @@ func TestRecorderRotateZeroAllocWithinHint(t *testing.T) {
 // never allocates and already-emitted windows are preserved.
 func TestRecorderReserveWindows(t *testing.T) {
 	rec := NewRecorder(2, 0, true)
-	rec.Record(0.25)
+	rec.Record(0.25, false)
 	rec.Rotate(2) // one window emitted before the reservation
 	rec.ReserveWindows(4200)
 	if got := rec.Series().LatencyMean.At(0); math.Abs(got-250) > 1e-9 {
 		t.Fatalf("reservation lost emitted window: %v", got)
 	}
 	allocs := testing.AllocsPerRun(4000, func() {
-		rec.Record(0.01)
+		rec.Record(0.01, false)
 		rec.Rotate(1)
 	})
 	if allocs != 0 {
@@ -215,7 +222,7 @@ func TestRecorderReserveWindows(t *testing.T) {
 // (not stale data) and keep the axis aligned.
 func TestRecorderEmptyWindows(t *testing.T) {
 	rec := NewRecorder(2, 4, false)
-	rec.Record(0.5)
+	rec.Record(0.5, false)
 	rec.Rotate(0)
 	rec.Rotate(0) // empty window
 	s := rec.Series()

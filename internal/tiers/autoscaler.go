@@ -1,0 +1,123 @@
+package tiers
+
+import (
+	"vwchar/internal/sim"
+	"vwchar/internal/telemetry"
+)
+
+// Autoscaler closes the characterization loop: it watches the driver's
+// per-window latency telemetry as the run unfolds and activates or
+// drains web replicas through the cluster. experiment.Run hooks
+// OnSample onto the sysstat collector after the drivers' window
+// rotation, so each decision sees the window that just closed.
+//
+// The reactive policy scales up after ScaleUpWindows consecutive
+// windows whose p95 violated the SLO, and drains after
+// ScaleDownWindows consecutive windows comfortably under it. The
+// predictive policy additionally fits a least-squares trend to the
+// recent p95 history and scales up when the projection
+// LookaheadWindows ahead crosses the SLO — buying back the boot delay
+// on ramps that the reactive policy only reacts to after the fact.
+type Autoscaler struct {
+	c    *WebCluster
+	tel  *telemetry.WindowSeries
+	spec AutoscalerSpec
+
+	cooldown sim.Time
+	boot     sim.Time
+
+	hot, calm int
+	lastOp    sim.Time
+	opped     bool
+}
+
+// NewAutoscaler builds an autoscaler driving c from the driver
+// telemetry tel. The spec's zero-valued knobs are defaulted.
+func NewAutoscaler(c *WebCluster, tel *telemetry.WindowSeries, spec AutoscalerSpec) *Autoscaler {
+	spec = spec.withDefaults()
+	return &Autoscaler{
+		c:        c,
+		tel:      tel,
+		spec:     spec,
+		cooldown: sim.Seconds(spec.CooldownSeconds),
+		boot:     sim.Seconds(spec.BootSeconds),
+	}
+}
+
+// OnSample is the collector hook: classify the window that just closed
+// and act when the streak and cooldown allow.
+func (a *Autoscaler) OnSample(now sim.Time) {
+	n := a.tel.LatencyP95.Len()
+	if n == 0 {
+		return
+	}
+	// Idle windows (no completions) carry no latency signal; they break
+	// a hot streak but do not count as calm either — an idle system
+	// should drain on sustained quiet, which the throughput gate below
+	// still allows once traffic resumes at a trickle.
+	if a.tel.Throughput.Values[n-1] <= 0 {
+		a.hot = 0
+		return
+	}
+	p95 := a.tel.LatencyP95.Values[n-1]
+	signal := p95
+	if a.spec.Policy == AutoscalePredictive {
+		if proj := a.projectP95(n); proj > signal {
+			signal = proj
+		}
+	}
+	switch {
+	case signal > a.spec.SLOMillis:
+		a.hot++
+		a.calm = 0
+	case p95 < a.spec.LowFraction*a.spec.SLOMillis:
+		a.calm++
+		a.hot = 0
+	default:
+		a.hot, a.calm = 0, 0
+	}
+	if a.opped && now-a.lastOp < a.cooldown {
+		return
+	}
+	if a.hot >= a.spec.ScaleUpWindows {
+		if a.c.ScaleUp(a.boot, "p95 over SLO") {
+			a.lastOp, a.opped = now, true
+		}
+		a.hot = 0
+	} else if a.calm >= a.spec.ScaleDownWindows {
+		if a.c.ScaleDown("p95 well under SLO") {
+			a.lastOp, a.opped = now, true
+		}
+		a.calm = 0
+	}
+}
+
+// projectP95 extrapolates the p95 series LookaheadWindows ahead with an
+// ordinary least-squares line over the trailing fit window. Short
+// histories fall back to the last observation.
+func (a *Autoscaler) projectP95(n int) float64 {
+	fit := 2 * a.spec.LookaheadWindows
+	if fit < 4 {
+		fit = 4
+	}
+	if n < fit {
+		return a.tel.LatencyP95.Values[n-1]
+	}
+	vals := a.tel.LatencyP95.Values[n-fit : n]
+	var sx, sy, sxx, sxy float64
+	for i, v := range vals {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(fit)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return vals[fit-1]
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	return intercept + slope*float64(fit-1+a.spec.LookaheadWindows)
+}

@@ -27,9 +27,6 @@ type Backend interface {
 	DiskIO(bytes float64, write bool, done sim.Callback, arg any)
 	// NetExternal transfers bytes to/from clients outside the testbed.
 	NetExternal(bytes float64, inbound bool, done sim.Callback, arg any)
-	// NetToPeer transfers bytes to the other tier; done(arg) fires when
-	// the peer has received them.
-	NetToPeer(bytes float64, done sim.Callback, arg any)
 	// Fsync performs n synchronous journal flushes (write transactions).
 	Fsync(n int)
 	// OS exposes the instance's kernel counters.
@@ -61,7 +58,10 @@ func (b *VMBackend) NetExternal(bytes float64, inbound bool, done sim.Callback, 
 	b.HV.GuestNetExternal(b.Dom, bytes, inbound, done, arg)
 }
 
-// NetToPeer implements Backend.
+// NetToPeer transfers bytes to the co-resident peer guest across the
+// software bridge. Inter-tier traffic normally travels a topology Path
+// (VMPath wraps exactly this call); the method remains for direct
+// backend use.
 func (b *VMBackend) NetToPeer(bytes float64, done sim.Callback, arg any) {
 	b.HV.GuestNetInterVM(b.Dom, b.Peer, bytes, done, arg)
 }
@@ -214,9 +214,9 @@ func pmArrived(arg any) {
 	b.fwdFree.Put(f)
 }
 
-// NetToPeer implements Backend. Both hosts' NICs and CPUs are charged;
-// in the non-virtualized deployment inter-tier traffic is real wire
-// traffic.
+// NetToPeer transfers bytes to the peer server (PMPath wraps this).
+// Both hosts' NICs and CPUs are charged; in the non-virtualized
+// deployment inter-tier traffic is real wire traffic.
 func (b *PMBackend) NetToPeer(bytes float64, done sim.Callback, arg any) {
 	b.Server.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil, nil)
 	b.Peer.CPU.Submit(bytes*b.Params.NetCyclesPerByte, nil, nil)

@@ -1,0 +1,489 @@
+package tiers
+
+import (
+	"vwchar/internal/rubis"
+	"vwchar/internal/sim"
+	"vwchar/internal/xen"
+)
+
+// Path carries inter-tier bytes between two specific endpoints. The
+// topology precomputes one Path per (web replica, DB instance, direction)
+// at assembly time, so the per-request dispatch path routes through
+// plain interface calls with no allocation and no placement lookups.
+type Path interface {
+	// Transfer moves bytes along the path; done(arg) (optional) fires
+	// when they have arrived at the destination endpoint.
+	Transfer(bytes float64, done sim.Callback, arg any)
+}
+
+// PathPair is the two directions of a web-replica<->DB-instance link:
+// To carries the query request toward the DB, From carries the reply
+// back to the web replica.
+type PathPair struct {
+	To, From Path
+}
+
+// vmPath links two co-resident guests across the host's software
+// bridge — exactly the transfer the pre-topology NetToPeer performed,
+// which is what keeps the degenerate topology byte-identical.
+type vmPath struct {
+	hv       *xen.Hypervisor
+	src, dst *xen.Domain
+}
+
+func (p vmPath) Transfer(bytes float64, done sim.Callback, arg any) {
+	p.hv.GuestNetInterVM(p.src, p.dst, bytes, done, arg)
+}
+
+// VMPath builds the co-resident guest-to-guest path.
+func VMPath(hv *xen.Hypervisor, src, dst *xen.Domain) Path {
+	return vmPath{hv: hv, src: src, dst: dst}
+}
+
+// CrossWireLatency is the one-way latency between physical machines for
+// guest traffic that leaves the host (same figure as the PM deployment's
+// inter-server wire).
+const CrossWireLatency = 120 * sim.Microsecond
+
+// crossPath links guests on different physical machines: the bytes
+// leave the source host through its NIC and dom0, cross the wire, and
+// enter the destination host the same way. In-flight transfers are
+// carried by pooled crossFwd slots, keeping dispatch allocation-free.
+type crossPath struct {
+	k        *sim.Kernel
+	srcHV    *xen.Hypervisor
+	dstHV    *xen.Hypervisor
+	src, dst *xen.Domain
+	fwdFree  sim.FreeList[crossFwd]
+}
+
+type crossFwd struct {
+	p     *crossPath
+	bytes float64
+	done  sim.Callback
+	darg  any
+}
+
+func (p *crossPath) Transfer(bytes float64, done sim.Callback, arg any) {
+	f := p.fwdFree.Get()
+	f.p = p
+	f.bytes = bytes
+	f.done = done
+	f.darg = arg
+	p.srcHV.GuestNetExternal(p.src, bytes, false, crossSent, f)
+}
+
+// crossSent fires when the bytes cleared the source host's NIC: start
+// the wire leg.
+func crossSent(arg any) {
+	f := arg.(*crossFwd)
+	f.p.k.AfterCall(CrossWireLatency, crossArrived, f)
+}
+
+// crossArrived fires at the destination machine: deliver through its
+// dom0 and NIC, handing the caller's completion to the inbound leg,
+// then recycle the forward slot.
+func crossArrived(arg any) {
+	f := arg.(*crossFwd)
+	p := f.p
+	done, darg, bytes := f.done, f.darg, f.bytes
+	p.fwdFree.Put(f)
+	p.dstHV.GuestNetExternal(p.dst, bytes, true, done, darg)
+}
+
+// CrossVMPath builds the cross-machine guest-to-guest path.
+func CrossVMPath(k *sim.Kernel, srcHV *xen.Hypervisor, src *xen.Domain, dstHV *xen.Hypervisor, dst *xen.Domain) Path {
+	return &crossPath{k: k, srcHV: srcHV, dstHV: dstHV, src: src, dst: dst}
+}
+
+// pmPath wraps the physical deployment's inter-server wire transfer.
+type pmPath struct{ be *PMBackend }
+
+func (p pmPath) Transfer(bytes float64, done sim.Callback, arg any) {
+	p.be.NetToPeer(bytes, done, arg)
+}
+
+// PMPath builds the physical inter-server path originating at be.
+func PMPath(be *PMBackend) Path { return pmPath{be: be} }
+
+// Route is per-session routing state: it remembers the session's last
+// write so reads within the replication lag stay on the primary
+// (read-your-writes). Both drivers embed one per client/session and
+// thread a pointer through the dispatch path; nil is accepted and
+// simply disables stickiness.
+type Route struct {
+	wrote       bool
+	lastWriteAt sim.Time
+}
+
+// Reset clears the routing state for session reuse.
+func (r *Route) Reset() { r.wrote = false; r.lastWriteAt = 0 }
+
+// DBCluster is the database tier: a primary that takes every write and
+// checkpoint, plus optional read replicas that share the read fan-out.
+type DBCluster struct {
+	Primary  *DBServer
+	Replicas []*DBServer
+	// Lag is the replication lag window for read-your-writes routing.
+	Lag sim.Time
+
+	rr int
+}
+
+// NewDBCluster wires the tier. replicas may be empty (the degenerate
+// single-DB deployment).
+func NewDBCluster(primary *DBServer, replicas []*DBServer, lag sim.Time) *DBCluster {
+	return &DBCluster{Primary: primary, Replicas: replicas, Lag: lag}
+}
+
+// server returns the instance at routing index i (0 = primary,
+// 1..R = read replicas).
+func (c *DBCluster) server(i int) *DBServer {
+	if i == 0 {
+		return c.Primary
+	}
+	return c.Replicas[i-1]
+}
+
+// Instances is the number of routable DB servers (primary + replicas).
+func (c *DBCluster) Instances() int { return 1 + len(c.Replicas) }
+
+// Queries sums handled calls across the primary and every replica.
+func (c *DBCluster) Queries() uint64 {
+	n := c.Primary.Queries
+	for _, r := range c.Replicas {
+		n += r.Queries
+	}
+	return n
+}
+
+// route picks the instance index for one query. Writes always hit the
+// primary and stamp the session's route; reads go to the primary while
+// the session is within the replication lag of its last write, and fan
+// out round-robin across the replicas otherwise. With no replicas this
+// is a constant — the degenerate path touches nothing.
+func (c *DBCluster) route(write bool, now sim.Time, rt *Route) int {
+	if len(c.Replicas) == 0 {
+		return 0
+	}
+	if write {
+		if rt != nil {
+			rt.wrote = true
+			rt.lastWriteAt = now
+		}
+		return 0
+	}
+	if rt != nil && rt.wrote && now-rt.lastWriteAt < c.Lag {
+		return 0
+	}
+	i := c.rr
+	c.rr++
+	if c.rr == len(c.Replicas) {
+		c.rr = 0
+	}
+	return 1 + i
+}
+
+// Frontend is the surface a driver pushes requests into: the WebCluster
+// implements it; tests substitute a stub to pin driver scheduling in
+// isolation from the tier stack.
+type Frontend interface {
+	// Dispatch routes one parsed interaction to a web replica; done(arg)
+	// fires when the response has been transmitted to the client. rt may
+	// be nil (no session routing state).
+	Dispatch(res *rubis.Result, rt *Route, done sim.Callback, arg any)
+}
+
+// LoadBalancer picks which active web replica takes the next request.
+// Implementations must be deterministic and allocation-free.
+type LoadBalancer interface {
+	// Policy names the discipline.
+	Policy() LBPolicy
+	// Pick returns the index of an Active replica in c. At least one
+	// replica is always active.
+	Pick(c *WebCluster) int
+}
+
+// NewLoadBalancer builds the named policy (round-robin for the zero
+// value).
+func NewLoadBalancer(p LBPolicy) LoadBalancer {
+	switch p {
+	case LBLeastInFlight:
+		return &leastInFlight{}
+	case LBJoinShortestQueue:
+		return &joinShortestQueue{}
+	default:
+		return &roundRobin{}
+	}
+}
+
+type roundRobin struct{ next int }
+
+func (p *roundRobin) Policy() LBPolicy { return LBRoundRobin }
+
+func (p *roundRobin) Pick(c *WebCluster) int {
+	n := len(c.Replicas)
+	for j := 0; j < n; j++ {
+		i := p.next + j
+		if i >= n {
+			i -= n
+		}
+		if c.state[i] == ReplicaActive {
+			p.next = i + 1
+			if p.next == n {
+				p.next = 0
+			}
+			return i
+		}
+	}
+	return 0
+}
+
+type leastInFlight struct{}
+
+func (leastInFlight) Policy() LBPolicy { return LBLeastInFlight }
+
+func (leastInFlight) Pick(c *WebCluster) int {
+	best, bestLoad := -1, 0
+	for i, r := range c.Replicas {
+		if c.state[i] != ReplicaActive {
+			continue
+		}
+		if best < 0 || r.inflight < bestLoad {
+			best, bestLoad = i, r.inflight
+		}
+	}
+	return best
+}
+
+type joinShortestQueue struct{}
+
+func (joinShortestQueue) Policy() LBPolicy { return LBJoinShortestQueue }
+
+func (joinShortestQueue) Pick(c *WebCluster) int {
+	best, bestLoad := -1, 0
+	for i, r := range c.Replicas {
+		if c.state[i] != ReplicaActive {
+			continue
+		}
+		q := r.active + len(r.queue)
+		if best < 0 || q < bestLoad {
+			best, bestLoad = i, q
+		}
+	}
+	return best
+}
+
+// ReplicaState is a web replica's lifecycle position.
+type ReplicaState uint8
+
+const (
+	// ReplicaParked: provisioned (VM booted, baseline footprint) but not
+	// taking traffic; the autoscaler's headroom.
+	ReplicaParked ReplicaState = iota
+	// ReplicaBooting: a scale-up was decided; the replica takes traffic
+	// once the provisioning delay elapses.
+	ReplicaBooting
+	// ReplicaActive: in the load balancer's rotation.
+	ReplicaActive
+)
+
+// ScaleEvent records one autoscaler/cluster transition.
+type ScaleEvent struct {
+	// At is when the event happened.
+	At sim.Time
+	// Replica is the web replica index affected.
+	Replica int
+	// Kind is "boot" (scale-up decided), "up" (replica active), or
+	// "down" (replica drained).
+	Kind string
+	// Active is the active replica count after the event.
+	Active int
+	// Reason is the policy's explanation.
+	Reason string
+}
+
+// WebCluster is the front-end tier at cluster scale: MaxWebReplicas
+// provisioned web replicas, of which the active subset takes traffic
+// through the load balancer. Dispatch is allocation-free on the pooled
+// request path; the degenerate single-replica cluster reproduces the
+// pre-topology request event sequence exactly.
+type WebCluster struct {
+	k *sim.Kernel
+	// Replicas are the provisioned web servers, active or not.
+	Replicas []*WebAppServer
+	state    []ReplicaState
+	lb       LoadBalancer
+
+	activeCount int
+	peakActive  int
+	minActive   int
+
+	// acts backs closure-free delayed activations (one slot per replica).
+	acts []activation
+
+	dispFree sim.FreeList[dispatch]
+
+	// Events is the scale-event log, in time order.
+	Events []ScaleEvent
+}
+
+type activation struct {
+	c *WebCluster
+	i int
+}
+
+// dispatch carries one request from the balancer decision through the
+// client->replica network transfer, recycled through the cluster's
+// free list.
+type dispatch struct {
+	r    *WebAppServer
+	res  *rubis.Result
+	rt   *Route
+	done sim.Callback
+	darg any
+	free *sim.FreeList[dispatch]
+}
+
+// NewWebCluster wires the tier: the first initialActive replicas start
+// active, the rest parked. The active count never drops below
+// initialActive's floor of 1 (the autoscaler cannot drain the last
+// replica).
+func NewWebCluster(k *sim.Kernel, replicas []*WebAppServer, initialActive int, lb LoadBalancer) *WebCluster {
+	if initialActive < 1 {
+		initialActive = 1
+	}
+	if initialActive > len(replicas) {
+		initialActive = len(replicas)
+	}
+	if lb == nil {
+		lb = NewLoadBalancer(LBRoundRobin)
+	}
+	c := &WebCluster{
+		k:           k,
+		Replicas:    replicas,
+		state:       make([]ReplicaState, len(replicas)),
+		lb:          lb,
+		activeCount: initialActive,
+		peakActive:  initialActive,
+		minActive:   1,
+		acts:        make([]activation, len(replicas)),
+	}
+	for i := range replicas {
+		if i < initialActive {
+			c.state[i] = ReplicaActive
+		}
+		c.acts[i] = activation{c: c, i: i}
+	}
+	return c
+}
+
+// Policy reports the configured balancing discipline.
+func (c *WebCluster) Policy() LBPolicy { return c.lb.Policy() }
+
+// ActiveReplicas reports how many replicas currently take traffic.
+func (c *WebCluster) ActiveReplicas() int { return c.activeCount }
+
+// PeakActive reports the maximum concurrently active replica count.
+func (c *WebCluster) PeakActive() int { return c.peakActive }
+
+// State reports replica i's lifecycle state.
+func (c *WebCluster) State(i int) ReplicaState { return c.state[i] }
+
+// Served sums completed requests across replicas.
+func (c *WebCluster) Served() uint64 {
+	var n uint64
+	for _, r := range c.Replicas {
+		n += r.Served
+	}
+	return n
+}
+
+// Dispatch implements Frontend: pick a replica, move the request bytes
+// from the client to it, and hand the request over on arrival.
+func (c *WebCluster) Dispatch(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
+	r := c.Replicas[c.lb.Pick(c)]
+	r.Dispatched++
+	r.inflight++
+	dp := c.dispFree.Get()
+	dp.r = r
+	dp.res = res
+	dp.rt = rt
+	dp.done = done
+	dp.darg = arg
+	dp.free = &c.dispFree
+	r.be.NetExternal(res.RequestBytes, true, dispatchArrived, dp)
+}
+
+// dispatchArrived fires when the request bytes reached the chosen
+// replica: recycle the dispatch slot and start request processing.
+func dispatchArrived(arg any) {
+	dp := arg.(*dispatch)
+	r, res, rt, done, darg := dp.r, dp.res, dp.rt, dp.done, dp.darg
+	dp.free.Put(dp)
+	r.HandleRequest(res, rt, done, darg)
+}
+
+// note appends one scale event.
+func (c *WebCluster) note(at sim.Time, replica int, kind, reason string) {
+	c.Events = append(c.Events, ScaleEvent{
+		At: at, Replica: replica, Kind: kind, Active: c.activeCount, Reason: reason,
+	})
+}
+
+// ScaleUp activates the first parked replica after the provisioning
+// delay; it reports false when no headroom remains.
+func (c *WebCluster) ScaleUp(boot sim.Time, reason string) bool {
+	for i, st := range c.state {
+		if st != ReplicaParked {
+			continue
+		}
+		c.state[i] = ReplicaBooting
+		c.note(c.k.Now(), i, "boot", reason)
+		if boot <= 0 {
+			c.activate(i, reason)
+		} else {
+			c.k.AfterCall(boot, clusterActivate, &c.acts[i])
+		}
+		return true
+	}
+	return false
+}
+
+// clusterActivate fires when a booting replica's provisioning delay
+// elapsed.
+func clusterActivate(arg any) {
+	a := arg.(*activation)
+	a.c.activate(a.i, "boot complete")
+}
+
+func (c *WebCluster) activate(i int, reason string) {
+	if c.state[i] == ReplicaActive {
+		return
+	}
+	c.state[i] = ReplicaActive
+	c.activeCount++
+	if c.activeCount > c.peakActive {
+		c.peakActive = c.activeCount
+	}
+	c.note(c.k.Now(), i, "up", reason)
+}
+
+// ScaleDown drains the highest-index active replica: the balancer stops
+// picking it immediately, outstanding requests finish naturally, and it
+// returns to the parked pool. The last active replica never drains.
+func (c *WebCluster) ScaleDown(reason string) bool {
+	if c.activeCount <= c.minActive {
+		return false
+	}
+	for i := len(c.state) - 1; i >= 0; i-- {
+		if c.state[i] != ReplicaActive {
+			continue
+		}
+		c.state[i] = ReplicaParked
+		c.activeCount--
+		c.note(c.k.Now(), i, "down", reason)
+		return true
+	}
+	return false
+}

@@ -15,7 +15,7 @@ type Driver struct {
 	k     *sim.Kernel
 	app   *rubis.App
 	model rubis.Model
-	web   *WebAppServer
+	web   Frontend
 	costs rubis.CostParams
 
 	clients []*client
@@ -26,7 +26,8 @@ type Driver struct {
 // reused across interactions (the loop guarantees at most one in
 // flight), and the client itself is the context argument for every
 // callback on its request path — the steady-state loop allocates
-// nothing.
+// nothing. rt is the session's DB routing state: a closed-loop client
+// is one long session, so read-your-writes stickiness spans the run.
 type client struct {
 	d      *Driver
 	id     int
@@ -35,12 +36,13 @@ type client struct {
 	think  *rng.Stream
 	pick   *rng.Stream
 	sentAt sim.Time
+	rt     Route
 	res    rubis.Result
 }
 
 // NewDriver builds a driver for n clients using independent named
 // substreams from src.
-func NewDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web *WebAppServer, costs rubis.CostParams, n int, src *rng.Source) *Driver {
+func NewDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web Frontend, costs rubis.CostParams, n int, src *rng.Source) *Driver {
 	d := &Driver{
 		k:     k,
 		app:   app,
@@ -83,18 +85,12 @@ func clientIssue(arg any) {
 	c.d.issue(c)
 }
 
-// clientArrived fires when the request bytes reached the web tier.
-func clientArrived(arg any) {
-	c := arg.(*client)
-	c.d.web.HandleRequest(&c.res, clientDone, c)
-}
-
 // clientDone fires when the response reached the client.
 func clientDone(arg any) {
 	c := arg.(*client)
 	d := c.d
 	rt := (d.k.Now() - c.sentAt).Sec()
-	d.observe(rt)
+	d.observe(rt, c.res.IsWrite)
 	d.scheduleNext(c)
 }
 
@@ -111,7 +107,7 @@ func (d *Driver) issue(c *client) {
 	d.noteInteraction(c.state, c.res.IsWrite)
 	c.sentAt = d.k.Now()
 	d.observeSent()
-	d.web.be.NetExternal(c.res.RequestBytes, true, clientArrived, c)
+	d.web.Dispatch(&c.res, &c.rt, clientDone, c)
 }
 
 func (d *Driver) scheduleNext(c *client) {

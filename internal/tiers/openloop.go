@@ -7,17 +7,6 @@ import (
 	"vwchar/internal/sim"
 )
 
-// frontend is the web-tier surface a driver pushes requests into. The
-// concrete WebAppServer implements it; tests substitute a stub to pin
-// the open-loop scheduling path's allocation behaviour in isolation
-// from the storage engine.
-type frontend interface {
-	// HandleRequest processes one parsed interaction (see WebAppServer).
-	HandleRequest(res *rubis.Result, done sim.Callback, arg any)
-	// Backend exposes where the tier runs, for client-side transfers.
-	Backend() Backend
-}
-
 // OpenParams configures the open-loop driver: the arrival process plus
 // the session-lifecycle knobs.
 type OpenParams struct {
@@ -78,7 +67,7 @@ type OpenDriver struct {
 	k     *sim.Kernel
 	app   *rubis.App
 	model rubis.Model
-	web   frontend
+	web   Frontend
 	costs rubis.CostParams
 
 	arr load.Arrivals
@@ -105,21 +94,22 @@ type OpenDriver struct {
 }
 
 // openSession is the pooled per-session state: identity, the Markov
-// position, the remaining-interaction budget, and a reused cost
-// breakdown, threaded as the context argument through every callback on
-// its request path.
+// position, the remaining-interaction budget, the DB routing state,
+// and a reused cost breakdown, threaded as the context argument
+// through every callback on its request path.
 type openSession struct {
 	d         *OpenDriver
 	sess      rubis.Session
 	state     rubis.Interaction
 	remaining int
 	sentAt    sim.Time
+	rt        Route
 	res       rubis.Result
 }
 
 // NewOpenDriver builds an open-loop driver over the web tier using
 // independent named substreams from src.
-func NewOpenDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web frontend, costs rubis.CostParams, p OpenParams, src *rng.Source) *OpenDriver {
+func NewOpenDriver(k *sim.Kernel, app *rubis.App, model rubis.Model, web Frontend, costs rubis.CostParams, p OpenParams, src *rng.Source) *OpenDriver {
 	d := &OpenDriver{
 		k:            k,
 		app:          app,
@@ -170,6 +160,7 @@ func (d *OpenDriver) startSession() {
 	id := d.nextID
 	d.nextID++
 	s.d = d
+	s.rt.Reset()
 	s.state = d.model.StartState()
 	s.remaining = d.life.Geometric(d.sessionMean)
 	s.sess.UserID = id % d.app.TotalUsers()
@@ -205,13 +196,7 @@ func (d *OpenDriver) issue(s *openSession) {
 	d.noteInteraction(s.state, s.res.IsWrite)
 	s.sentAt = d.k.Now()
 	d.observeSent()
-	d.web.Backend().NetExternal(s.res.RequestBytes, true, openArrived, s)
-}
-
-// openArrived fires when the request bytes reached the web tier.
-func openArrived(arg any) {
-	s := arg.(*openSession)
-	s.d.web.HandleRequest(&s.res, openDone, s)
+	d.web.Dispatch(&s.res, &s.rt, openDone, s)
 }
 
 // openDone fires when the response reached the client.
@@ -219,7 +204,7 @@ func openDone(arg any) {
 	s := arg.(*openSession)
 	d := s.d
 	rt := (d.k.Now() - s.sentAt).Sec()
-	d.observe(rt)
+	d.observe(rt, s.res.IsWrite)
 	d.afterResponse(s, d.k.Now()-s.sentAt)
 }
 
@@ -233,6 +218,10 @@ func (d *OpenDriver) afterResponse(s *openSession, rt sim.Time) {
 		return
 	}
 	if d.abandonAfter > 0 && rt > d.abandonAfter {
+		// The violating response itself is already in the main histogram
+		// (it was served, just slowly); the abandonment histogram
+		// additionally attributes it as demand driven away.
+		d.rec.NoteAbandon(rt.Sec())
 		d.endSession(s, true)
 		return
 	}

@@ -28,12 +28,15 @@ func newOpenVMRig(t *testing.T, spec load.Spec, seed uint64) (*vmRig, *OpenDrive
 	webBE := &VMBackend{HV: hv, Dom: webDom, Peer: dbDom}
 	dbBE := &VMBackend{HV: hv, Dom: dbDom, Peer: webDom}
 	db := NewDBServer(k, dbBE, app, DefaultDBParams("vm"))
-	web := NewWebAppServer(k, webBE, db, DefaultWebParams("vm"))
+	dbc := NewDBCluster(db, nil, 0)
+	paths := []PathPair{{To: VMPath(hv, webDom, dbDom), From: VMPath(hv, dbDom, webDom)}}
+	web := NewWebAppServer(k, webBE, dbc, paths, DefaultWebParams("vm"))
+	fe := NewWebCluster(k, []*WebAppServer{web}, 1, nil)
 	p, err := OpenParamsFromSpec(&spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	drv := NewOpenDriver(k, app, rubis.BrowsingMix(), web, rubis.DefaultCostParams(), p, src)
+	drv := NewOpenDriver(k, app, rubis.BrowsingMix(), fe, rubis.DefaultCostParams(), p, src)
 	return &vmRig{k: k, hv: hv, app: app, web: web, db: db}, drv
 }
 
@@ -188,10 +191,9 @@ type nullFrontend struct {
 	be Backend
 }
 
-func (f *nullFrontend) HandleRequest(res *rubis.Result, done sim.Callback, arg any) {
+func (f *nullFrontend) Dispatch(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
 	f.k.AfterCall(2*sim.Millisecond, done, arg)
 }
-func (f *nullFrontend) Backend() Backend { return f.be }
 
 // TestOpenLoopSchedulingZeroAlloc pins the acceptance bar: with the
 // storage engine stubbed out (static pages, null web tier), the whole

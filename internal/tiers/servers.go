@@ -60,13 +60,20 @@ func DefaultWebParams(deployment string) WebParams {
 	return p
 }
 
-// WebAppServer is the front-end tier.
+// WebAppServer is one front-end replica. A replica reaches its DB tier
+// through a DBCluster plus one precomputed PathPair per DB instance,
+// so the same server works standalone (degenerate topology) or as one
+// of N balanced replicas.
 type WebAppServer struct {
-	k      *sim.Kernel
-	be     Backend
-	db     *DBServer
-	params WebParams
-	alloc  osmodel.ChunkAllocator
+	k  *sim.Kernel
+	be Backend
+	db *DBCluster
+	// dbPaths[i] links this replica with DB instance i (0 = primary,
+	// 1..R = read replicas): To carries queries out, From carries
+	// replies back.
+	dbPaths []PathPair
+	params  WebParams
+	alloc   osmodel.ChunkAllocator
 
 	active int
 	queue  []*webRequest
@@ -78,24 +85,33 @@ type WebAppServer struct {
 	// ticker writes them back (the guest page cache), which is what
 	// shapes the web tier's spiky disk trace.
 	pendingSpill float64
-	// Served counts completed requests; QueuePeak tracks the maximum
-	// backlog+active seen.
-	Served    uint64
-	QueuePeak int
+	// inflight counts requests between cluster dispatch and response —
+	// the least-inflight balancer's signal.
+	inflight int
+	// Served counts completed requests; Dispatched counts requests the
+	// balancer routed here; QueuePeak tracks the maximum backlog+active
+	// seen.
+	Served     uint64
+	Dispatched uint64
+	QueuePeak  int
 }
 
 // webRequest is the pooled per-request state.
 type webRequest struct {
 	w    *WebAppServer
 	res  *rubis.Result
+	rt   *Route
 	done sim.Callback
 	darg any
 	qi   int // index of the next DB query to issue
+	dbi  int // DB instance the current query routed to
 }
 
-// NewWebAppServer builds the tier on a backend, wired to its DB peer.
-func NewWebAppServer(k *sim.Kernel, be Backend, db *DBServer, params WebParams) *WebAppServer {
-	w := &WebAppServer{k: k, be: be, db: db, params: params}
+// NewWebAppServer builds one web replica on a backend, wired to its DB
+// tier through per-instance paths (len(dbPaths) must equal
+// db.Instances()).
+func NewWebAppServer(k *sim.Kernel, be Backend, db *DBCluster, dbPaths []PathPair, params WebParams) *WebAppServer {
+	w := &WebAppServer{k: k, be: be, db: db, dbPaths: dbPaths, params: params}
 	w.alloc = osmodel.ChunkAllocator{
 		Mem:       be.Mem(),
 		Label:     "apache",
@@ -127,10 +143,18 @@ func (w *WebAppServer) Growths() int { return w.alloc.Growths }
 // Backend exposes the tier's backend for client-side transfers.
 func (w *WebAppServer) Backend() Backend { return w.be }
 
+// InFlight reports requests between cluster dispatch and response.
+func (w *WebAppServer) InFlight() int { return w.inflight }
+
+// QueueDepth reports requests resident at the server (executing plus
+// queued) — the join-shortest-queue balancer's signal.
+func (w *WebAppServer) QueueDepth() int { return w.active + len(w.queue) }
+
 // HandleRequest processes one parsed interaction; done(arg) fires when
-// the response has been transmitted to the client. The res cost
-// breakdown must stay untouched by the caller until then.
-func (w *WebAppServer) HandleRequest(res *rubis.Result, done sim.Callback, arg any) {
+// the response has been transmitted to the client. rt is the session's
+// routing state (nil disables read-your-writes stickiness). The res
+// cost breakdown must stay untouched by the caller until then.
+func (w *WebAppServer) HandleRequest(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
 	level := w.active + len(w.queue) + 1
 	if level > w.QueuePeak {
 		w.QueuePeak = level
@@ -144,6 +168,7 @@ func (w *WebAppServer) HandleRequest(res *rubis.Result, done sim.Callback, arg a
 	req := w.reqFree.Get()
 	req.w = w
 	req.res = res
+	req.rt = rt
 	req.done = done
 	req.darg = arg
 	req.qi = 0
@@ -171,20 +196,25 @@ func webStage1Done(arg any) {
 }
 
 // stepQuery issues the interaction's DB calls sequentially, as the PHP
-// runtime does.
+// runtime does. Each query routes through the DB cluster — writes to
+// the primary, reads fanned across replicas subject to the session's
+// read-your-writes window — and travels the precomputed path to the
+// chosen instance.
 func (w *WebAppServer) stepQuery(req *webRequest) {
 	if req.qi >= len(req.res.Queries) {
 		w.finish(req)
 		return
 	}
 	q := &req.res.Queries[req.qi]
-	w.be.NetToPeer(q.RequestBytes, webQuerySent, req)
+	req.dbi = w.db.route(q.Receipt.Work.RowsWritten > 0, w.k.Now(), req.rt)
+	w.dbPaths[req.dbi].To.Transfer(q.RequestBytes, webQuerySent, req)
 }
 
 // webQuerySent fires when the query's request bytes reached the DB tier.
 func webQuerySent(arg any) {
 	req := arg.(*webRequest)
-	req.w.db.HandleQuery(req.res.Queries[req.qi], webQueryDone, req)
+	w := req.w
+	w.db.server(req.dbi).HandleQuery(req.res.Queries[req.qi], w.dbPaths[req.dbi].From, webQueryDone, req)
 }
 
 // webQueryDone fires when the DB reply reached the web tier.
@@ -218,6 +248,11 @@ func webRespDone(arg any) {
 	req := arg.(*webRequest)
 	w := req.w
 	w.Served++
+	// Guard the decrement: tests drive HandleRequest directly without a
+	// cluster dispatch having incremented the gauge.
+	if w.inflight > 0 {
+		w.inflight--
+	}
 	done, darg := req.done, req.darg
 	w.reqFree.Put(req)
 	if done != nil {
@@ -279,13 +314,15 @@ type DBServer struct {
 	Queries uint64
 }
 
-// dbCall is the pooled per-query state: the query cost receipt plus the
-// caller's completion, threaded through the CPU and disk stages.
+// dbCall is the pooled per-query state: the query cost receipt, the
+// reply path back to the calling web replica, and the caller's
+// completion, threaded through the CPU and disk stages.
 type dbCall struct {
-	d    *DBServer
-	q    rubis.QueryCost
-	done sim.Callback
-	darg any
+	d     *DBServer
+	q     rubis.QueryCost
+	reply Path
+	done  sim.Callback
+	darg  any
 }
 
 // NewDBServer builds the tier and starts its checkpoint ticker.
@@ -316,9 +353,9 @@ func (d *DBServer) checkpoint(now sim.Time) {
 	d.be.DiskIO(float64(flushed)*8192, true, nil, nil)
 }
 
-// HandleQuery replays one query receipt; done(arg) fires when the reply
-// has reached the web tier.
-func (d *DBServer) HandleQuery(q rubis.QueryCost, done sim.Callback, arg any) {
+// HandleQuery replays one query receipt; the reply bytes travel back
+// along reply, and done(arg) fires when they reached the web replica.
+func (d *DBServer) HandleQuery(q rubis.QueryCost, reply Path, done sim.Callback, arg any) {
 	d.Queries++
 	os := d.be.OS()
 	os.RunQueue++
@@ -326,6 +363,7 @@ func (d *DBServer) HandleQuery(q rubis.QueryCost, done sim.Callback, arg any) {
 	c := d.callFree.Get()
 	c.d = d
 	c.q = q
+	c.reply = reply
 	c.done = done
 	c.darg = arg
 	d.be.SubmitCPU(q.Receipt.CPUCycles, dbCPUDone, c)
@@ -351,8 +389,8 @@ func dbReadDone(arg any) {
 }
 
 // finishQuery performs the write-side work and sends the reply, then
-// recycles the call slot (NetToPeer copies the completion into its own
-// event, so the slot is free as soon as the reply is on its way).
+// recycles the call slot (the reply path copies the completion into its
+// own event, so the slot is free as soon as the reply is on its way).
 func (d *DBServer) finishQuery(c *dbCall) {
 	os := d.be.OS()
 	if os.RunQueue > 0 {
@@ -366,7 +404,7 @@ func (d *DBServer) finishQuery(c *dbCall) {
 	if c.q.Receipt.Work.RowsWritten > 0 {
 		d.be.Fsync(2)
 	}
-	replyBytes, done, darg := c.q.ReplyBytes, c.done, c.darg
+	replyBytes, reply, done, darg := c.q.ReplyBytes, c.reply, c.done, c.darg
 	d.callFree.Put(c)
-	d.be.NetToPeer(replyBytes, done, darg)
+	reply.Transfer(replyBytes, done, darg)
 }

@@ -35,6 +35,12 @@ type LoadGen interface {
 	RotateWindow(now sim.Time)
 	// Telemetry exposes the per-window latency/throughput/churn series.
 	Telemetry() *telemetry.WindowSeries
+	// SetReplicaGauge wires the active-replica gauge sampled at each
+	// window boundary (cluster runs; nil leaves the series absent).
+	SetReplicaGauge(fn func() int)
+	// Hists exposes the run-level response-time histograms: every served
+	// response, and the subset whose latency drove its session away.
+	Hists() (served, abandoned *telemetry.Hist)
 }
 
 // driverStats is the outcome accounting shared by the closed-loop and
@@ -70,11 +76,12 @@ func (s *driverStats) initStats(prealloc bool) {
 // concurrency gauge.
 func (s *driverStats) observeSent() { s.inflight++ }
 
-// observe records one completed interaction's response time in seconds.
-func (s *driverStats) observe(rt float64) {
+// observe records one completed interaction's response time in
+// seconds, attributed to its read or read-write class.
+func (s *driverStats) observe(rt float64, isWrite bool) {
 	s.Completed++
 	s.inflight--
-	s.rec.Record(rt)
+	s.rec.Record(rt, isWrite)
 }
 
 // noteInteraction tallies one successfully executed interaction.
@@ -94,6 +101,14 @@ func (s *driverStats) RotateWindow(now sim.Time) { s.rec.Rotate(s.inflight) }
 
 // Telemetry implements LoadGen.
 func (s *driverStats) Telemetry() *telemetry.WindowSeries { return s.rec.Series() }
+
+// SetReplicaGauge implements LoadGen.
+func (s *driverStats) SetReplicaGauge(fn func() int) { s.rec.SetReplicaGauge(fn) }
+
+// Hists implements LoadGen.
+func (s *driverStats) Hists() (served, abandoned *telemetry.Hist) {
+	return s.rec.RunHist(), s.rec.AbandonedHist()
+}
 
 // Totals implements LoadGen.
 func (s *driverStats) Totals() (completed, errors uint64) {

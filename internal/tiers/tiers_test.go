@@ -43,8 +43,11 @@ func newVMRig(t *testing.T, clients int) *vmRig {
 	webBE := &VMBackend{HV: hv, Dom: webDom, Peer: dbDom}
 	dbBE := &VMBackend{HV: hv, Dom: dbDom, Peer: webDom}
 	db := NewDBServer(k, dbBE, app, DefaultDBParams("vm"))
-	web := NewWebAppServer(k, webBE, db, DefaultWebParams("vm"))
-	driver := NewDriver(k, app, rubis.BrowsingMix(), web, rubis.DefaultCostParams(), clients, src)
+	dbc := NewDBCluster(db, nil, 0)
+	paths := []PathPair{{To: VMPath(hv, webDom, dbDom), From: VMPath(hv, dbDom, webDom)}}
+	web := NewWebAppServer(k, webBE, dbc, paths, DefaultWebParams("vm"))
+	fe := NewWebCluster(k, []*WebAppServer{web}, 1, nil)
+	driver := NewDriver(k, app, rubis.BrowsingMix(), fe, rubis.DefaultCostParams(), clients, src)
 	return &vmRig{k: k, hv: hv, app: app, web: web, db: db, driver: driver}
 }
 
@@ -94,8 +97,11 @@ func TestPMDeploymentServesRequests(t *testing.T) {
 	webBE := NewPMBackend(k, webSrv, dbSrv, DefaultPMParams("web"), src.Stream("n1"), webOS)
 	dbBE := NewPMBackend(k, dbSrv, webSrv, DefaultPMParams("db"), src.Stream("n2"), dbOS)
 	db := NewDBServer(k, dbBE, app, DefaultDBParams("pm"))
-	web := NewWebAppServer(k, webBE, db, DefaultWebParams("pm"))
-	driver := NewDriver(k, app, rubis.BiddingMix(), web, rubis.DefaultCostParams(), 50, src)
+	dbc := NewDBCluster(db, nil, 0)
+	paths := []PathPair{{To: PMPath(webBE), From: PMPath(dbBE)}}
+	web := NewWebAppServer(k, webBE, dbc, paths, DefaultWebParams("pm"))
+	fe := NewWebCluster(k, []*WebAppServer{web}, 1, nil)
+	driver := NewDriver(k, app, rubis.BiddingMix(), fe, rubis.DefaultCostParams(), 50, src)
 	driver.Start()
 	k.Run(60 * sim.Second)
 	if driver.Completed < 100 {
@@ -127,7 +133,7 @@ func TestWorkerPoolQueues(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rig.web.HandleRequest(res, nil, nil)
+		rig.web.HandleRequest(res, nil, nil, nil)
 	}
 	if len(rig.web.queue) != 4 {
 		t.Fatalf("queue = %d, want 4 (1 active)", len(rig.web.queue))

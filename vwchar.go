@@ -288,6 +288,67 @@ func AnalyzeTransient(p95 *Series, cfg TransientConfig) Transient {
 	return characterize.AnalyzeTransient(p95, cfg)
 }
 
+// Cluster topology (internal/tiers): Config.Topology generalizes the
+// paper's fixed web-VM/DB-VM pair into a replicated cluster — N web
+// replicas behind a pluggable load balancer, a DB primary with read
+// replicas (read-your-writes per session), explicit VM-to-machine
+// placement, and an optional telemetry-driven autoscaler that adds and
+// drains web replicas mid-run. A nil or degenerate topology reproduces
+// the paper's assembly byte for byte.
+type (
+	// Topology is the JSON round-trippable cluster description.
+	Topology = tiers.Topology
+	// AutoscalerSpec configures the in-loop autoscaler.
+	AutoscalerSpec = tiers.AutoscalerSpec
+	// LBPolicy names a load-balancer dispatch policy.
+	LBPolicy = tiers.LBPolicy
+	// ScaleEvent is one autoscaler action (boot, up, down).
+	ScaleEvent = tiers.ScaleEvent
+	// ScalingStats summarizes a run's scale events.
+	ScalingStats = experiment.ScalingStats
+	// ScalingAnalysis splits a run's SLO debt into served-slow and
+	// driven-away halves and reports time-to-scale.
+	ScalingAnalysis = characterize.ScalingAnalysis
+)
+
+// Load-balancer policies for Topology.LB.
+const (
+	LBRoundRobin        = tiers.LBRoundRobin
+	LBLeastInFlight     = tiers.LBLeastInFlight
+	LBJoinShortestQueue = tiers.LBJoinShortestQueue
+)
+
+// Autoscaler policies for AutoscalerSpec.Policy.
+const (
+	AutoscaleReactive   = tiers.AutoscaleReactive
+	AutoscalePredictive = tiers.AutoscalePredictive
+)
+
+// Cluster scaling metrics reported by sweep points whose runs carried
+// a cluster topology.
+const (
+	MetricReplicasPeak = runner.MetricReplicasPeak
+	MetricScaleUps     = runner.MetricScaleUps
+	MetricScaleDowns   = runner.MetricScaleDowns
+	MetricTimeToScale  = runner.MetricTimeToScale
+)
+
+// AnalyzeScaling computes the scaling analysis of a run against an SLO
+// in milliseconds: time-to-scale, peak replica count, worst window,
+// and the SLO debt split between responses served slowly and sessions
+// driven away.
+func AnalyzeScaling(r *Result, sloMillis float64) ScalingAnalysis {
+	return characterize.AnalyzeScaling(r, sloMillis)
+}
+
+// BuildSaturationFigure assembles the Figure 9-style panel from one
+// run: web CPU demand paired with per-window latency p95 on a shared
+// normalized axis, with the active replica count overlaid when the run
+// autoscaled.
+func BuildSaturationFigure(r *Result) (Figure, error) {
+	return experiment.BuildSaturationFigure(r)
+}
+
 // AnalysisFromTelemetry derives the characterization warm-up window
 // from a run's windowed throughput instead of the fixed 20% skip.
 func AnalysisFromTelemetry(r *Result) Analysis { return characterize.AnalysisFromTelemetry(r) }
@@ -307,7 +368,7 @@ func WriteTelemetryCSV(w io.Writer, r *Result) error {
 	if r.Telemetry == nil {
 		return nil
 	}
-	return timeseries.WriteTableCSV(w, r.Telemetry.All()...)
+	return timeseries.WriteTableCSV(w, r.Telemetry.Present()...)
 }
 
 // Envs lists the supported deployments; Mixes the five compositions.
@@ -402,9 +463,10 @@ func BiddingModel() MixModel { return rubis.BiddingMix() }
 
 // RenderFigure draws a figure's panels as ASCII charts.
 func RenderFigure(w io.Writer, fig Figure) error {
-	for _, p := range fig.Panels {
+	for i := range fig.Panels {
+		p := &fig.Panels[i]
 		opts := plot.DefaultOptions(p.Title, p.Unit)
-		if err := plot.Render(w, opts, p.Browse, p.Bid); err != nil {
+		if err := plot.Render(w, opts, p.Series()...); err != nil {
 			return err
 		}
 	}
@@ -413,10 +475,13 @@ func RenderFigure(w io.Writer, fig Figure) error {
 
 // WriteFigureCSV exports a figure as one CSV table per panel.
 func WriteFigureCSV(w io.Writer, fig Figure) error {
-	for _, p := range fig.Panels {
-		browse := p.Browse.Clone(p.Title + " browse")
-		bid := p.Bid.Clone(p.Title + " bid")
-		if err := timeseries.WriteTableCSV(w, browse, bid); err != nil {
+	for i := range fig.Panels {
+		p := &fig.Panels[i]
+		cols := make([]*timeseries.Series, 0, 2+len(p.Overlays))
+		for _, s := range p.Series() {
+			cols = append(cols, s.Clone(p.Title+" "+s.Name))
+		}
+		if err := timeseries.WriteTableCSV(w, cols...); err != nil {
 			return err
 		}
 	}
