@@ -42,6 +42,10 @@ func main() {
 	machines := flag.Int("machines", 0, "physical machines to place VMs on (0/1: one host)")
 	autoscale := flag.String("autoscale", "", "autoscaler policy: reactive | predictive")
 	sloMillis := flag.Float64("slo-ms", 500, "autoscaler latency SLO (p95, ms)")
+	faultsName := flag.String("faults", "", "chaos scenario: "+strings.Join(vwchar.ChaosScenarioNames(), " | "))
+	mttf := flag.Float64("mttf", 0, "ad-hoc web-replica crash MTTF in seconds (recurring)")
+	mttr := flag.Float64("mttr", 0, "repair time in seconds for -mttf crashes (0: 30 s)")
+	slowFactor := flag.Float64("slow-factor", 0, "degrade machine 0's CPU by this factor mid-run (>1)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*env, *mix, *clients, *duration, *seed, *loadName, *rate, *trace)
@@ -49,7 +53,10 @@ func main() {
 		err = applyTopology(&cfg, *webReplicas, *maxWeb, *dbReplicas, *lb, *machines, *autoscale, *sloMillis)
 	}
 	if err == nil {
-		err = run(cfg, *csv, os.Stdout)
+		err = applyFaults(&cfg, *faultsName, *mttf, *mttr, *slowFactor, *duration)
+	}
+	if err == nil {
+		err = run(cfg, *csv, *sloMillis, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubisim:", err)
@@ -127,7 +134,77 @@ func applyTopology(cfg *vwchar.Config, webReplicas, maxWeb, dbReplicas int, lb s
 	return cfg.Validate()
 }
 
-func run(cfg vwchar.Config, csv bool, w io.Writer) error {
+// applyFaults attaches a fault schedule: a catalog scenario by name,
+// an ad-hoc recurring web-replica crash (-mttf/-mttr), and/or a
+// mid-run slow machine (-slow-factor). Scenarios bring their own load
+// shape (unless one was chosen), resilience posture, and topology
+// minimums; ad-hoc faults pair with the default resilience spec.
+func applyFaults(cfg *vwchar.Config, name string, mttf, mttr, slowFactor, duration float64) error {
+	if name == "" && mttf == 0 && slowFactor == 0 {
+		if mttr != 0 {
+			return fmt.Errorf("-mttr needs -mttf")
+		}
+		return nil
+	}
+	sched := &vwchar.FaultSchedule{}
+	minWeb, minDB, minMachines := 0, 0, 0
+	if name != "" {
+		sc, err := vwchar.ChaosScenarioByName(name)
+		if err != nil {
+			return err
+		}
+		*sched = sc.Faults
+		res := sc.Resilience
+		cfg.Resilience = &res
+		minWeb, minDB, minMachines = sc.MinWebReplicas, sc.MinDBReplicas, sc.MinMachines
+		if cfg.Load == nil && sc.Load != "" {
+			spec, err := vwchar.LoadScenario(sc.Load)
+			if err != nil {
+				return err
+			}
+			cfg.Load = &spec
+		}
+	}
+	if mttr != 0 && mttf == 0 {
+		return fmt.Errorf("-mttr needs -mttf")
+	}
+	if mttf > 0 {
+		if mttr == 0 {
+			mttr = 30
+		}
+		sched.WebCrash = &vwchar.FaultComponent{MTTFSeconds: mttf, MTTRSeconds: mttr}
+		minWeb = max(minWeb, 2)
+	}
+	if slowFactor > 0 {
+		if slowFactor <= 1 {
+			return fmt.Errorf("-slow-factor must exceed 1")
+		}
+		sched.SlowNode = &vwchar.FaultComponent{
+			AtSeconds:   duration / 4,
+			MTTRSeconds: duration / 2,
+			Value:       slowFactor,
+			Targets:     []int{0},
+		}
+		minMachines = max(minMachines, 1)
+	}
+	cfg.Faults = sched
+	if cfg.Resilience == nil {
+		res := vwchar.DefaultResilience()
+		cfg.Resilience = &res
+	}
+	if cfg.Topology == nil && (minWeb > 1 || minDB > 0 || minMachines > 1) {
+		cfg.Topology = &vwchar.Topology{}
+	}
+	if t := cfg.Topology; t != nil {
+		t.WebReplicas = max(t.WebReplicas, minWeb)
+		t.MaxWebReplicas = max(t.MaxWebReplicas, t.WebReplicas)
+		t.DBReadReplicas = max(t.DBReadReplicas, minDB)
+		t.Machines = max(t.Machines, minMachines)
+	}
+	return cfg.Validate()
+}
+
+func run(cfg vwchar.Config, csv bool, sloMillis float64, w io.Writer) error {
 	res, err := vwchar.Run(cfg)
 	if err != nil {
 		return err
@@ -155,6 +232,11 @@ func run(cfg vwchar.Config, csv bool, w io.Writer) error {
 			fmt.Fprintf(w, ", first capacity active at t=%.0fs", sc.FirstUpAt.Sec())
 		}
 		fmt.Fprintln(w)
+	}
+	if res.Requests != nil {
+		if err := vwchar.AnalyzeAvailability(res, sloMillis).Write(w); err != nil {
+			return err
+		}
 	}
 	if tel := res.Telemetry; tel != nil && tel.Windows() > 0 {
 		// Minimum over busy windows only: idle windows record p95=0,

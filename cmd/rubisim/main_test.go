@@ -18,7 +18,7 @@ func TestRunSmoke(t *testing.T) {
 	cfg.Clients = 20
 	cfg.Duration = 30 * sim.Second
 	var buf bytes.Buffer
-	if err := run(cfg, true, &buf); err != nil {
+	if err := run(cfg, true, 500, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,7 +32,7 @@ func TestRunSmoke(t *testing.T) {
 func TestRunRejectsBadConfig(t *testing.T) {
 	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
 	cfg.Clients = 0
-	if err := run(cfg, false, &bytes.Buffer{}); err == nil {
+	if err := run(cfg, false, 500, &bytes.Buffer{}); err == nil {
 		t.Fatal("zero clients accepted")
 	}
 }
@@ -48,7 +48,7 @@ func TestRunSmokeOpenLoop(t *testing.T) {
 		t.Fatalf("flag plumbing lost the load spec: %+v", cfg.Load)
 	}
 	var buf bytes.Buffer
-	if err := run(cfg, false, &buf); err != nil {
+	if err := run(cfg, false, 500, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -73,11 +73,64 @@ func TestRunTraceFlag(t *testing.T) {
 		t.Fatalf("trace flag plumbing broken: %+v", cfg.Load)
 	}
 	var buf bytes.Buffer
-	if err := run(cfg, false, &buf); err != nil {
+	if err := run(cfg, false, 500, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "sessions:") {
 		t.Fatalf("trace run missing session summary:\n%s", buf.String())
+	}
+}
+
+// TestRunSmokeFaults drives a chaos scenario end to end through the
+// flag path and checks the availability summary line appears.
+func TestRunSmokeFaults(t *testing.T) {
+	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+	cfg.Clients = 20
+	cfg.Duration = 40 * sim.Second
+	if err := applyFaults(&cfg, "kill-web-replica", 0, 0, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil || cfg.Resilience == nil {
+		t.Fatalf("scenario did not arm faults+resilience: %+v %+v", cfg.Faults, cfg.Resilience)
+	}
+	if cfg.Topology == nil || cfg.Topology.WebReplicas < 2 {
+		t.Fatalf("scenario minimums not applied: %+v", cfg.Topology)
+	}
+	// The catalog scenario brings its own load shape.
+	if cfg.Load == nil {
+		t.Fatal("scenario load shape not applied")
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, false, 500, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "availability:") {
+		t.Fatalf("fault run missing availability summary:\n%s", buf.String())
+	}
+}
+
+// TestFaultFlagValidation pins the ad-hoc fault flags' dependencies.
+func TestFaultFlagValidation(t *testing.T) {
+	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
+	if err := applyFaults(&cfg, "", 0, 20, 0, 40); err == nil {
+		t.Fatal("-mttr without -mttf accepted")
+	}
+	if err := applyFaults(&cfg, "", 0, 0, 0.5, 40); err == nil {
+		t.Fatal("-slow-factor below 1 accepted")
+	}
+	if err := applyFaults(&cfg, "no-such-scenario", 0, 0, 0, 40); err == nil {
+		t.Fatal("unknown chaos scenario accepted")
+	}
+	adhoc := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBidding)
+	adhoc.Clients = 10
+	if err := applyFaults(&adhoc, "", 200, 0, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if adhoc.Faults.WebCrash == nil || adhoc.Faults.WebCrash.MTTRSeconds != 30 {
+		t.Fatalf("-mttf default MTTR not applied: %+v", adhoc.Faults.WebCrash)
+	}
+	if adhoc.Resilience == nil || adhoc.Topology.WebReplicas < 2 {
+		t.Fatal("ad-hoc fault did not arm default resilience + 2 replicas")
 	}
 }
 

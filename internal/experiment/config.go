@@ -74,6 +74,22 @@ func (c Config) Validate() error {
 			return fmt.Errorf("experiment: cluster topologies are incompatible with consolidation pairs")
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if !c.Faults.Empty() {
+			if c.Environment != Virtualized {
+				return fmt.Errorf("experiment: fault injection requires the virtualized deployment")
+			}
+			if c.Pairs > 1 {
+				return fmt.Errorf("experiment: fault injection is incompatible with consolidation pairs")
+			}
+		}
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 

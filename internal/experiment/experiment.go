@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 
+	"vwchar/internal/faults"
 	"vwchar/internal/hw"
 	"vwchar/internal/load"
 	"vwchar/internal/osmodel"
@@ -98,6 +99,17 @@ type Config struct {
 	// single-pair assembly byte for byte. Virtualized only (the physical
 	// testbed is two fixed servers); incompatible with Pairs > 1.
 	Topology *tiers.Topology
+	// Faults, when non-nil, injects the schedule's crash/degraded-mode
+	// timeline into the run (expanded deterministically from Seed).
+	// Virtualized only; incompatible with Pairs > 1. Nil injects
+	// nothing and leaves the serving path byte-identical.
+	Faults *faults.Schedule
+	// Resilience, when non-nil, wraps dispatch in a guard (timeouts,
+	// retries, optional breaker) and starts health checks driving
+	// replica ejection and DB primary failover. Nil leaves the serving
+	// path untouched — faults without resilience show the unprotected
+	// baseline.
+	Resilience *faults.ResilienceSpec
 }
 
 // DefaultConfig returns the paper's experimental setup for env and mix.
@@ -136,6 +148,18 @@ type ScalingStats struct {
 	// FirstUpAt is the activation instant of the first scale-up (boot
 	// delay included); zero when the autoscaler never fired.
 	FirstUpAt sim.Time
+}
+
+// RequestStats splits issued requests by outcome. The invariant
+// Issued = Served + TimedOut + Shed + Failed + InFlight always holds
+// (InFlight is demand still in the pipe when the run ended).
+type RequestStats struct {
+	Issued   uint64 `json:"issued"`
+	Served   uint64 `json:"served"`
+	TimedOut uint64 `json:"timed_out"`
+	Shed     uint64 `json:"shed"`
+	Failed   uint64 `json:"failed"`
+	InFlight uint64 `json:"in_flight"`
 }
 
 // Result is one completed run.
@@ -201,6 +225,18 @@ type Result struct {
 	// whose latency drove its session away. Together they split SLO debt
 	// into served-slow and driven-away (characterize.AnalyzeScaling).
 	ServedHist, AbandonedHist *telemetry.Hist
+
+	// Requests splits issued requests by outcome, summed across
+	// instances; nil unless faults or resilience were configured.
+	Requests *RequestStats
+	// Guard snapshots the primary instance's guard counters; nil
+	// without a Resilience spec.
+	Guard *tiers.GuardStats
+	// Failovers is the DB promotion log; empty without failovers.
+	Failovers []tiers.FailoverEvent
+	// FaultTimeline is the expanded fault schedule the run executed;
+	// nil without a Faults schedule.
+	FaultTimeline []faults.Event
 }
 
 // CPU returns the per-2s cycle demand series for tier ("webapp",
@@ -242,7 +278,16 @@ func Run(cfg Config) (*Result, error) {
 	// newDriver picks the workload shape: the paper's closed loop when
 	// cfg.Load is nil, the open-loop generator otherwise. Each instance
 	// gets its own arrival process (they are stateful) and RNG source.
+	// With a Resilience spec the dispatch path is wrapped in a guard
+	// (timeouts/retries/breaker) per instance; without one the frontend
+	// is untouched.
+	var guards []*tiers.Guard
 	newDriver := func(app *rubis.App, web tiers.Frontend, src *rng.Source) (tiers.LoadGen, error) {
+		if cfg.Resilience != nil {
+			g := tiers.NewGuard(k, web, *cfg.Resilience, src.Stream("resilience-jitter"))
+			guards = append(guards, g)
+			web = g
+		}
 		if cfg.Load == nil {
 			return tiers.NewDriver(k, app, model, web, costs, cfg.Clients, src), nil
 		}
@@ -338,6 +383,26 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("experiment: unknown environment %q", cfg.Environment)
 	}
 
+	// Fault injection and the reaction side, wired only when
+	// configured: the fault timeline is expanded deterministically from
+	// the run seed before the kernel starts (injection consumes no
+	// randomness at run time), and the health monitor drives replica
+	// ejection/readmission and DB primary failover.
+	faulty := cfg.Faults != nil || cfg.Resilience != nil
+	var monitor *tiers.HealthMonitor
+	if cfg.Faults != nil && inst != nil {
+		res.FaultTimeline = cfg.Faults.Expand(cfg.Duration, faults.Targets{
+			Webs:     topo.MaxWebReplicas,
+			DBs:      1 + topo.DBReadReplicas,
+			Machines: topo.Machines,
+		}, src)
+		tiers.NewInjector(k, inst.cluster, inst.dbc, topo, res.FaultTimeline).Start()
+	}
+	if cfg.Resilience != nil && inst != nil {
+		monitor = tiers.NewHealthMonitor(k, inst.cluster, inst.dbc, *cfg.Resilience)
+		monitor.Start()
+	}
+
 	// Rotate every driver's telemetry window on the collector's
 	// sampling ticker: latency windows and resource samples close at
 	// the same instants, in deterministic driver order. Reserving the
@@ -347,6 +412,16 @@ func Run(cfg Config) (*Result, error) {
 	if inst != nil && !topo.IsDegenerate() {
 		// Materialize the replicas series before capacity is reserved.
 		drivers[0].SetReplicaGauge(inst.cluster.ActiveReplicas)
+	}
+	if faulty {
+		// Materialize the fault series before capacity is reserved.
+		for i, drv := range drivers {
+			var retries func() uint64
+			if i < len(guards) {
+				retries = guards[i].RetryCount
+			}
+			drv.EnableFaultTelemetry(retries)
+		}
 	}
 	for _, drv := range drivers {
 		drv.ReserveWindows(windows)
@@ -415,6 +490,26 @@ func Run(cfg Config) (*Result, error) {
 		for _, w := range inst.cluster.Replicas {
 			res.ReplicaServed = append(res.ReplicaServed, w.Dispatched)
 		}
+	}
+	if faulty {
+		rs := &RequestStats{}
+		for _, drv := range drivers {
+			issued, served, timedOut, shed, failed := drv.RequestTotals()
+			rs.Issued += issued
+			rs.Served += served
+			rs.TimedOut += timedOut
+			rs.Shed += shed
+			rs.Failed += failed
+		}
+		rs.InFlight = rs.Issued - rs.Served - rs.TimedOut - rs.Shed - rs.Failed
+		res.Requests = rs
+	}
+	if len(guards) > 0 {
+		stats := guards[0].Stats
+		res.Guard = &stats
+	}
+	if monitor != nil {
+		res.Failovers = monitor.Failovers
 	}
 	if hv != nil {
 		res.Attribution = hv.Attribution()

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scenario is a named chaos experiment: a fault schedule plus the
+// resilience configuration it is meant to exercise, and the topology
+// minimums it needs to be meaningful. Scenarios join the load
+// catalog's role as reproducible starting points for experiments.
+type Scenario struct {
+	Name    string
+	Summary string
+	// Load names a load.Spec catalog entry the scenario pairs well
+	// with ("" = caller's choice).
+	Load string
+	// Topology minimums: the scenario requires at least this many web
+	// replicas / DB read replicas / machines.
+	MinWebReplicas int
+	MinDBReplicas  int
+	MinMachines    int
+	Faults         Schedule
+	Resilience     ResilienceSpec
+}
+
+func scenarios() map[string]Scenario {
+	return map[string]Scenario{
+		"kill-web-replica": {
+			Name:           "kill-web-replica",
+			Summary:        "crash web replica 1 mid-flash-crowd, recover after 60s; health checks eject and readmit it",
+			Load:           "flash-crowd",
+			MinWebReplicas: 2,
+			Faults: Schedule{
+				WebCrash: &Component{AtSeconds: 150, MTTRSeconds: 60, Targets: []int{1}},
+			},
+			Resilience: *DefaultResilience(),
+		},
+		"primary-failover": {
+			Name:          "primary-failover",
+			Summary:       "kill the DB primary under steady load; a read replica is promoted after the detection window",
+			Load:          "steady",
+			MinDBReplicas: 1,
+			Faults: Schedule{
+				DBCrash: &Component{AtSeconds: 120, Targets: []int{0}},
+			},
+			Resilience: *DefaultResilience(),
+		},
+		"slow-machine": {
+			Name:        "slow-machine",
+			Summary:     "machine 0 limps at 3x CPU demand for 120s; retries and the breaker keep the tail bounded",
+			Load:        "steady",
+			MinMachines: 1,
+			Faults: Schedule{
+				SlowNode: &Component{AtSeconds: 100, MTTRSeconds: 120, Value: 3, Targets: []int{0}},
+			},
+			Resilience: func() ResilienceSpec {
+				r := *DefaultResilience()
+				r.Breaker = &BreakerSpec{ErrorThreshold: 0.5, WindowRequests: 64, OpenMillis: 1000}
+				return r
+			}(),
+		},
+	}
+}
+
+// Scenarios returns the chaos catalog keyed by name.
+func Scenarios() map[string]Scenario { return scenarios() }
+
+// ScenarioNames lists catalog entries in sorted order.
+func ScenarioNames() []string {
+	m := scenarios()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioByName looks up a catalog entry.
+func ScenarioByName(name string) (Scenario, error) {
+	if s, ok := scenarios()[name]; ok {
+		return s, nil
+	}
+	return Scenario{}, fmt.Errorf("faults: unknown chaos scenario %q (have %v)", name, ScenarioNames())
+}

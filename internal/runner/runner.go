@@ -388,6 +388,18 @@ const (
 	MetricTimeToScale = "time_to_scale_s"
 )
 
+// Fault-injection metrics, present only on runs with a fault schedule
+// or resilience spec (Result.Requests non-nil). Availability is
+// served / concluded demand; retries is 0 when no guard is installed.
+const (
+	MetricTimedOut     = "timed_out"
+	MetricShed         = "shed"
+	MetricFailedReq    = "failed"
+	MetricRetries      = "retries"
+	MetricAvailability = "availability"
+	MetricFailovers    = "failovers"
+)
+
 // MetricCPU, MetricMem, MetricDisk and MetricNet name the per-tier
 // aggregates; use these instead of hand-concatenating metric names so a
 // typo is a compile-time symbol error, not a silent zero Metric.
@@ -425,6 +437,24 @@ func scalars(r *experiment.Result) []NamedMetric {
 			NamedMetric{MetricScaleUps, Metric{Mean: float64(r.Scaling.ScaleUps)}},
 			NamedMetric{MetricScaleDowns, Metric{Mean: float64(r.Scaling.ScaleDowns)}},
 			NamedMetric{MetricTimeToScale, Metric{Mean: r.Scaling.FirstUpAt.Sec()}},
+		)
+	}
+	if rq := r.Requests; rq != nil {
+		avail := 1.0
+		if concluded := rq.Issued - rq.InFlight; concluded > 0 {
+			avail = float64(rq.Served) / float64(concluded)
+		}
+		var retries uint64
+		if r.Guard != nil {
+			retries = r.Guard.Retries
+		}
+		out = append(out,
+			NamedMetric{MetricTimedOut, Metric{Mean: float64(rq.TimedOut)}},
+			NamedMetric{MetricShed, Metric{Mean: float64(rq.Shed)}},
+			NamedMetric{MetricFailedReq, Metric{Mean: float64(rq.Failed)}},
+			NamedMetric{MetricRetries, Metric{Mean: float64(retries)}},
+			NamedMetric{MetricAvailability, Metric{Mean: avail}},
+			NamedMetric{MetricFailovers, Metric{Mean: float64(len(r.Failovers))}},
 		)
 	}
 	// Resource scalars over the run's actual collector targets — the

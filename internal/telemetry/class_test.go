@@ -163,7 +163,9 @@ func TestReplicaGaugeSeries(t *testing.T) {
 	for _, sr := range r.Series().Present() {
 		names[sr.Name] = true
 	}
-	if !names["replicas"] || len(names) != len(SeriesNames) {
-		t.Fatalf("Present() with a gauge = %d series, want all %d", len(names), len(SeriesNames))
+	// The five fault series stay absent unless fault telemetry is
+	// enabled; everything else is present once the gauge is wired.
+	if !names["replicas"] || len(names) != len(SeriesNames)-5 {
+		t.Fatalf("Present() with a gauge = %d series, want %d", len(names), len(SeriesNames)-5)
 	}
 }

@@ -32,6 +32,11 @@ var SeriesNames = []string{
 	"latency_rw_p95_ms",
 	"abandoned_sessions",
 	"replicas",
+	"timeouts",
+	"sheds",
+	"failures",
+	"retries",
+	"availability",
 }
 
 // WindowSeries is the per-window output of a Recorder: one sample per
@@ -58,6 +63,11 @@ type WindowSeries struct {
 	// Replicas is the active web-replica gauge at each window boundary;
 	// nil unless a replica gauge was wired (cluster runs).
 	Replicas *timeseries.Series
+	// Timeouts/Sheds/Failures count abnormal request outcomes per
+	// window; Retries counts guard re-dispatches per window;
+	// Availability is served/(served+abnormal) per window. All nil
+	// unless fault telemetry was enabled (fault-injection runs).
+	Timeouts, Sheds, Failures, Retries, Availability *timeseries.Series
 }
 
 // All lists the series in SeriesNames order. Entries may be nil (the
@@ -67,6 +77,7 @@ func (w *WindowSeries) All() []*timeseries.Series {
 		w.LatencyMean, w.LatencyP50, w.LatencyP95, w.LatencyP99,
 		w.Throughput, w.Inflight, w.Starts, w.Ends,
 		w.LatencyReadP95, w.LatencyRWP95, w.Abandoned, w.Replicas,
+		w.Timeouts, w.Sheds, w.Failures, w.Retries, w.Availability,
 	}
 }
 
@@ -121,6 +132,13 @@ type Recorder struct {
 	// replicaGauge, when wired, samples the active web-replica count at
 	// each window boundary into the Replicas series.
 	replicaGauge func() int
+
+	// Fault accounting (fault-injection runs only): window-local
+	// abnormal-outcome counters, plus the guard's cumulative retry
+	// source differenced at each window boundary.
+	winTimeouts, winSheds, winFails uint64
+	retryFn                         func() uint64
+	lastRetries                     uint64
 
 	// exact is the bounded exact reservoir backing small-count
 	// run-level quantiles; sorted tracks whether it is currently in
@@ -179,6 +197,32 @@ func (r *Recorder) SetReplicaGauge(fn func() int) {
 		r.series.Replicas = r.newSeries(SeriesNames[11], "replicas")
 	}
 }
+
+// EnableFaultSeries materializes the per-window fault series
+// (timeouts, sheds, failures, retries, availability); absent the call
+// they stay nil and consumers skip them, which is what keeps fault
+// telemetry out of fault-free runs. retries supplies the guard's
+// cumulative retry count (nil for a constant zero). Call before
+// ReserveWindows.
+func (r *Recorder) EnableFaultSeries(retries func() uint64) {
+	r.retryFn = retries
+	if r.series.Timeouts == nil {
+		r.series.Timeouts = r.newSeries(SeriesNames[12], "requests/window")
+		r.series.Sheds = r.newSeries(SeriesNames[13], "requests/window")
+		r.series.Failures = r.newSeries(SeriesNames[14], "requests/window")
+		r.series.Retries = r.newSeries(SeriesNames[15], "retries/window")
+		r.series.Availability = r.newSeries(SeriesNames[16], "fraction")
+	}
+}
+
+// NoteTimeout tallies one timed-out request in the current window.
+func (r *Recorder) NoteTimeout() { r.winTimeouts++ }
+
+// NoteShed tallies one breaker-shed request in the current window.
+func (r *Recorder) NoteShed() { r.winSheds++ }
+
+// NoteFailure tallies one errored request in the current window.
+func (r *Recorder) NoteFailure() { r.winFails++ }
 
 // Record adds one response-time observation in seconds, attributed to
 // its interaction class (isWrite selects read-write). Allocation-free
@@ -258,6 +302,26 @@ func (r *Recorder) Rotate(inflight int) {
 	r.series.Abandoned.Append(float64(r.winAbandons))
 	if r.series.Replicas != nil {
 		r.series.Replicas.Append(float64(r.replicaGauge()))
+	}
+	if r.series.Timeouts != nil {
+		r.series.Timeouts.Append(float64(r.winTimeouts))
+		r.series.Sheds.Append(float64(r.winSheds))
+		r.series.Failures.Append(float64(r.winFails))
+		var retries uint64
+		if r.retryFn != nil {
+			cum := r.retryFn()
+			retries = cum - r.lastRetries
+			r.lastRetries = cum
+		}
+		r.series.Retries.Append(float64(retries))
+		served := float64(w.Count())
+		faulted := float64(r.winTimeouts + r.winSheds + r.winFails)
+		avail := 1.0
+		if served+faulted > 0 {
+			avail = served / (served + faulted)
+		}
+		r.series.Availability.Append(avail)
+		r.winTimeouts, r.winSheds, r.winFails = 0, 0, 0
 	}
 	w.Reset()
 	r.winClass[0].Reset()

@@ -65,8 +65,12 @@ func TestRecorderWindowSeries(t *testing.T) {
 	for i := range SeriesNames {
 		sr := s.All()[i]
 		if sr == nil {
-			if SeriesNames[i] != "replicas" {
-				t.Errorf("series %q absent without a replica gauge", SeriesNames[i])
+			switch SeriesNames[i] {
+			case "replicas", "timeouts", "sheds", "failures", "retries", "availability":
+				// Conditionally materialized (replica gauge / fault
+				// telemetry); absent by default.
+			default:
+				t.Errorf("series %q absent by default", SeriesNames[i])
 			}
 			continue
 		}
@@ -234,5 +238,51 @@ func TestRecorderEmptyWindows(t *testing.T) {
 	}
 	if got := s.LatencyP95.TimeAt(1); got != 2 {
 		t.Fatalf("window 2 time = %v, want 2", got)
+	}
+}
+
+// TestRecorderFaultSeries pins the fault telemetry: enabling it
+// materializes the five series, windows count abnormal outcomes, the
+// retry series differences the cumulative source, and availability is
+// served/(served+abnormal) with an idle-window default of 1.
+func TestRecorderFaultSeries(t *testing.T) {
+	rec := NewRecorder(2, 4, false)
+	var cum uint64
+	rec.EnableFaultSeries(func() uint64 { return cum })
+
+	// Window 1: two served, one timeout, one failure, three retries.
+	rec.Record(0.010, false)
+	rec.Record(0.010, false)
+	rec.NoteTimeout()
+	rec.NoteFailure()
+	cum = 3
+	rec.Rotate(0)
+
+	// Window 2: all healthy, one more retry.
+	rec.Record(0.010, false)
+	cum = 4
+	rec.Rotate(0)
+
+	// Window 3: idle.
+	rec.Rotate(0)
+
+	s := rec.Series()
+	if s.Timeouts.At(0) != 1 || s.Failures.At(0) != 1 || s.Sheds.At(0) != 0 {
+		t.Fatalf("window 1 outcomes = %v/%v/%v, want 1/1/0",
+			s.Timeouts.At(0), s.Failures.At(0), s.Sheds.At(0))
+	}
+	if s.Retries.At(0) != 3 || s.Retries.At(1) != 1 || s.Retries.At(2) != 0 {
+		t.Fatalf("retry series = %v, want [3 1 0]", s.Retries.Values)
+	}
+	if got := s.Availability.At(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("window 1 availability = %v, want 0.5", got)
+	}
+	if s.Availability.At(1) != 1 || s.Availability.At(2) != 1 {
+		t.Fatalf("healthy/idle availability = %v/%v, want 1/1",
+			s.Availability.At(1), s.Availability.At(2))
+	}
+	// Counters reset between windows.
+	if s.Timeouts.At(1) != 0 || s.Failures.At(1) != 0 {
+		t.Fatalf("window 2 outcomes should be zero")
 	}
 }

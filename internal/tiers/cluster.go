@@ -55,6 +55,9 @@ type crossPath struct {
 	dstHV    *xen.Hypervisor
 	src, dst *xen.Domain
 	fwdFree  sim.FreeList[crossFwd]
+	// extra is fault-injected additional one-way latency (path_delay
+	// degraded mode); zero in healthy operation.
+	extra sim.Time
 }
 
 type crossFwd struct {
@@ -77,7 +80,7 @@ func (p *crossPath) Transfer(bytes float64, done sim.Callback, arg any) {
 // the wire leg.
 func crossSent(arg any) {
 	f := arg.(*crossFwd)
-	f.p.k.AfterCall(CrossWireLatency, crossArrived, f)
+	f.p.k.AfterCall(CrossWireLatency+f.p.extra, crossArrived, f)
 }
 
 // crossArrived fires at the destination machine: deliver through its
@@ -114,10 +117,14 @@ func PMPath(be *PMBackend) Path { return pmPath{be: be} }
 type Route struct {
 	wrote       bool
 	lastWriteAt sim.Time
+	// Outcome is stamped by the serving path when a request ends
+	// abnormally (timeout, shed, error); the zero value is
+	// OutcomeServed, and the healthy path never writes it.
+	Outcome Outcome
 }
 
 // Reset clears the routing state for session reuse.
-func (r *Route) Reset() { r.wrote = false; r.lastWriteAt = 0 }
+func (r *Route) Reset() { r.wrote = false; r.lastWriteAt = 0; r.Outcome = OutcomeServed }
 
 // DBCluster is the database tier: a primary that takes every write and
 // checkpoint, plus optional read replicas that share the read fan-out.
@@ -160,8 +167,11 @@ func (c *DBCluster) Queries() uint64 {
 // route picks the instance index for one query. Writes always hit the
 // primary and stamp the session's route; reads go to the primary while
 // the session is within the replication lag of its last write, and fan
-// out round-robin across the replicas otherwise. With no replicas this
-// is a constant — the degenerate path touches nothing.
+// out round-robin across the live replicas otherwise (a crashed
+// replica is skipped without disturbing the rotation counter's
+// healthy-path sequence; if every replica is down the read falls back
+// to the primary). With no replicas this is a constant — the
+// degenerate path touches nothing.
 func (c *DBCluster) route(write bool, now sim.Time, rt *Route) int {
 	if len(c.Replicas) == 0 {
 		return 0
@@ -176,12 +186,26 @@ func (c *DBCluster) route(write bool, now sim.Time, rt *Route) int {
 	if rt != nil && rt.wrote && now-rt.lastWriteAt < c.Lag {
 		return 0
 	}
-	i := c.rr
-	c.rr++
-	if c.rr == len(c.Replicas) {
-		c.rr = 0
+	n := len(c.Replicas)
+	for j := 0; j < n; j++ {
+		i := c.rr
+		c.rr++
+		if c.rr == n {
+			c.rr = 0
+		}
+		if !c.Replicas[i].down {
+			return 1 + i
+		}
 	}
-	return 1 + i
+	return 0
+}
+
+// Promote swaps read replica j in as the new primary (DB failover).
+// The old primary takes the replica's slot, so routing index 1+j now
+// reaches the crashed instance — callers must also swap the matching
+// web-side paths (the HealthMonitor does both atomically).
+func (c *DBCluster) Promote(j int) {
+	c.Primary, c.Replicas[j] = c.Replicas[j], c.Primary
 }
 
 // Frontend is the surface a driver pushes requests into: the WebCluster
@@ -199,8 +223,9 @@ type Frontend interface {
 type LoadBalancer interface {
 	// Policy names the discipline.
 	Policy() LBPolicy
-	// Pick returns the index of an Active replica in c. At least one
-	// replica is always active.
+	// Pick returns the index of an Active replica in c, or -1 when no
+	// replica is active (every replica ejected by health checks); the
+	// cluster then fast-fails the request.
 	Pick(c *WebCluster) int
 }
 
@@ -236,7 +261,7 @@ func (p *roundRobin) Pick(c *WebCluster) int {
 			return i
 		}
 	}
-	return 0
+	return -1
 }
 
 type leastInFlight struct{}
@@ -286,6 +311,9 @@ const (
 	ReplicaBooting
 	// ReplicaActive: in the load balancer's rotation.
 	ReplicaActive
+	// ReplicaDown: ejected by health checks after its server crashed;
+	// readmitted when a later check sees it healthy.
+	ReplicaDown
 )
 
 // ScaleEvent records one autoscaler/cluster transition.
@@ -400,9 +428,23 @@ func (c *WebCluster) Served() uint64 {
 }
 
 // Dispatch implements Frontend: pick a replica, move the request bytes
-// from the client to it, and hand the request over on arrival.
+// from the client to it, and hand the request over on arrival. When no
+// replica is active (all ejected), the request fast-fails with an
+// error response after a connection-refused turnaround.
 func (c *WebCluster) Dispatch(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
-	r := c.Replicas[c.lb.Pick(c)]
+	i := c.lb.Pick(c)
+	if i < 0 {
+		dp := c.dispFree.Get()
+		dp.r = nil
+		dp.res = res
+		dp.rt = rt
+		dp.done = done
+		dp.darg = arg
+		dp.free = &c.dispFree
+		c.k.AfterCall(errorRespLatency, dispatchFailed, dp)
+		return
+	}
+	r := c.Replicas[i]
 	r.Dispatched++
 	r.inflight++
 	dp := c.dispFree.Get()
@@ -422,6 +464,21 @@ func dispatchArrived(arg any) {
 	r, res, rt, done, darg := dp.r, dp.res, dp.rt, dp.done, dp.darg
 	dp.free.Put(dp)
 	r.HandleRequest(res, rt, done, darg)
+}
+
+// dispatchFailed delivers the no-replica-available error response.
+func dispatchFailed(arg any) {
+	dp := arg.(*dispatch)
+	rt, done, darg := dp.rt, dp.done, dp.darg
+	dp.res = nil
+	dp.rt = nil
+	dp.free.Put(dp)
+	if rt != nil {
+		rt.Outcome = OutcomeFailed
+	}
+	if done != nil {
+		done(darg)
+	}
 }
 
 // note appends one scale event.
@@ -486,4 +543,30 @@ func (c *WebCluster) ScaleDown(reason string) bool {
 		return true
 	}
 	return false
+}
+
+// Eject removes a crashed replica from the balancer rotation (health
+// check failure). Unlike ScaleDown, ejection may drop the active count
+// to zero — the cluster then fast-fails dispatches until a replica
+// recovers or boots.
+func (c *WebCluster) Eject(i int, reason string) {
+	if c.state[i] != ReplicaActive {
+		return
+	}
+	c.state[i] = ReplicaDown
+	c.activeCount--
+	c.note(c.k.Now(), i, "eject", reason)
+}
+
+// Readmit returns a recovered replica to the balancer rotation.
+func (c *WebCluster) Readmit(i int, reason string) {
+	if c.state[i] != ReplicaDown {
+		return
+	}
+	c.state[i] = ReplicaActive
+	c.activeCount++
+	if c.activeCount > c.peakActive {
+		c.peakActive = c.activeCount
+	}
+	c.note(c.k.Now(), i, "readmit", reason)
 }

@@ -89,6 +89,15 @@ func clientIssue(arg any) {
 func clientDone(arg any) {
 	c := arg.(*client)
 	d := c.d
+	if o := c.rt.Outcome; o != OutcomeServed {
+		// Abnormal outcome (fault-injection runs only): count it, clear
+		// the stamp for the next interaction, and keep the loop going —
+		// a closed-loop client retries after its usual think time.
+		d.observeFault(o)
+		c.rt.Outcome = OutcomeServed
+		d.scheduleNext(c)
+		return
+	}
 	rt := (d.k.Now() - c.sentAt).Sec()
 	d.observe(rt, c.res.IsWrite)
 	d.scheduleNext(c)

@@ -190,7 +190,7 @@ func (d *OpenDriver) issue(s *openSession) {
 		// Mirror the closed loop: surface the failure in results and
 		// keep the session moving rather than papering over it.
 		d.Errors++
-		d.afterResponse(s, 0)
+		d.afterResponse(s, 0, false)
 		return
 	}
 	d.noteInteraction(s.state, s.res.IsWrite)
@@ -203,18 +203,35 @@ func (d *OpenDriver) issue(s *openSession) {
 func openDone(arg any) {
 	s := arg.(*openSession)
 	d := s.d
+	if o := s.rt.Outcome; o != OutcomeServed {
+		// Abnormal outcome (fault-injection runs only): count it and
+		// clear the stamp; the turnaround never enters the latency
+		// pipeline.
+		d.observeFault(o)
+		s.rt.Outcome = OutcomeServed
+		d.afterResponse(s, d.k.Now()-s.sentAt, true)
+		return
+	}
 	rt := (d.k.Now() - s.sentAt).Sec()
 	d.observe(rt, s.res.IsWrite)
-	d.afterResponse(s, d.k.Now()-s.sentAt)
+	d.afterResponse(s, d.k.Now()-s.sentAt, false)
 }
 
 // afterResponse advances the session lifecycle once an interaction
 // concluded: leave when the drawn length is exhausted, abandon when the
-// response blew the SLO, otherwise think and continue.
-func (d *OpenDriver) afterResponse(s *openSession, rt sim.Time) {
+// response blew the SLO or errored, otherwise think and continue.
+func (d *OpenDriver) afterResponse(s *openSession, rt sim.Time, faulted bool) {
 	s.remaining--
 	if s.remaining <= 0 {
 		d.endSession(s, false)
+		return
+	}
+	if faulted {
+		// An error page drives the user away like an SLO breach, but it
+		// stays out of the abandonment latency histogram: that histogram
+		// attributes demand driven away by *slowness* (AnalyzeScaling
+		// subtracts it from the SLO-violation count).
+		d.endSession(s, true)
 		return
 	}
 	if d.abandonAfter > 0 && rt > d.abandonAfter {

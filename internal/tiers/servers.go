@@ -94,6 +94,17 @@ type WebAppServer struct {
 	Served     uint64
 	Dispatched uint64
 	QueuePeak  int
+
+	// down marks a crashed replica: new requests fast-fail, and epoch
+	// invalidates every in-flight request so its pending stage
+	// callbacks turn into error responses instead of touching the
+	// reset worker accounting. Both are only written by fault
+	// injection; the healthy path reads two predictable branches.
+	down  bool
+	epoch uint32
+	// slow is the fault-injected CPU slowdown factor (> 1 while a
+	// slow-node fault is active; 0 otherwise).
+	slow float64
 }
 
 // webRequest is the pooled per-request state.
@@ -105,6 +116,17 @@ type webRequest struct {
 	darg any
 	qi   int // index of the next DB query to issue
 	dbi  int // DB instance the current query routed to
+	// epoch snapshots the server's crash epoch at admission; a
+	// mismatch at any stage means the server crashed underneath the
+	// request.
+	epoch uint32
+	// failed marks the request as ending in an error response.
+	failed bool
+	// dbsrv/dbEpoch pin the DB instance the current query was issued
+	// to (by identity, stable across failover promotion) and its crash
+	// epoch at issue time.
+	dbsrv   *DBServer
+	dbEpoch uint32
 }
 
 // NewWebAppServer builds one web replica on a backend, wired to its DB
@@ -155,6 +177,18 @@ func (w *WebAppServer) QueueDepth() int { return w.active + len(w.queue) }
 // routing state (nil disables read-your-writes stickiness). The res
 // cost breakdown must stay untouched by the caller until then.
 func (w *WebAppServer) HandleRequest(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
+	if w.down {
+		// Crashed replica: connection refused after a fast turnaround.
+		req := w.reqFree.Get()
+		req.w = w
+		req.res = res
+		req.rt = rt
+		req.done = done
+		req.darg = arg
+		req.failed = true
+		w.k.AfterCall(errorRespLatency, webRespDone, req)
+		return
+	}
 	level := w.active + len(w.queue) + 1
 	if level > w.QueuePeak {
 		w.QueuePeak = level
@@ -172,6 +206,8 @@ func (w *WebAppServer) HandleRequest(res *rubis.Result, rt *Route, done sim.Call
 	req.done = done
 	req.darg = arg
 	req.qi = 0
+	req.epoch = w.epoch
+	req.failed = false
 	if w.active >= w.params.Workers {
 		w.queue = append(w.queue, req)
 		return
@@ -186,12 +222,19 @@ func (w *WebAppServer) start(req *webRequest) {
 	os.NoteContext(4)
 	os.NoteFaults(35, 0)
 	stage1 := req.res.WebCycles * w.params.StageSplit
+	if w.slow > 1 {
+		stage1 *= w.slow
+	}
 	w.be.SubmitCPU(stage1, webStage1Done, req)
 }
 
 // webStage1Done fires after the pre-query CPU stage: begin the DB calls.
 func webStage1Done(arg any) {
 	req := arg.(*webRequest)
+	if req.w.stale(req) {
+		req.w.failRequest(req)
+		return
+	}
 	req.w.stepQuery(req)
 }
 
@@ -207,6 +250,15 @@ func (w *WebAppServer) stepQuery(req *webRequest) {
 	}
 	q := &req.res.Queries[req.qi]
 	req.dbi = w.db.route(q.Receipt.Work.RowsWritten > 0, w.k.Now(), req.rt)
+	srv := w.db.server(req.dbi)
+	if srv.down {
+		// The routed instance is dead (primary crashed, no failover
+		// yet): error out without leaking the worker slot.
+		w.errorOut(req)
+		return
+	}
+	req.dbsrv = srv
+	req.dbEpoch = srv.epoch
 	w.dbPaths[req.dbi].To.Transfer(q.RequestBytes, webQuerySent, req)
 }
 
@@ -214,18 +266,41 @@ func (w *WebAppServer) stepQuery(req *webRequest) {
 func webQuerySent(arg any) {
 	req := arg.(*webRequest)
 	w := req.w
-	w.db.server(req.dbi).HandleQuery(req.res.Queries[req.qi], w.dbPaths[req.dbi].From, webQueryDone, req)
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
+	if req.dbsrv.down || req.dbsrv.epoch != req.dbEpoch {
+		// The instance crashed while the query was on the wire.
+		w.errorOut(req)
+		return
+	}
+	req.dbsrv.HandleQuery(req.res.Queries[req.qi], w.dbPaths[req.dbi].From, webQueryDone, req)
 }
 
 // webQueryDone fires when the DB reply reached the web tier.
 func webQueryDone(arg any) {
 	req := arg.(*webRequest)
+	w := req.w
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
+	if req.dbsrv.down || req.dbsrv.epoch != req.dbEpoch {
+		// The reply is a crashed instance's error marker (or raced the
+		// crash): the transaction is lost either way.
+		w.errorOut(req)
+		return
+	}
 	req.qi++
-	req.w.stepQuery(req)
+	w.stepQuery(req)
 }
 
 func (w *WebAppServer) finish(req *webRequest) {
 	stage2 := req.res.WebCycles * (1 - w.params.StageSplit)
+	if w.slow > 1 {
+		stage2 *= w.slow
+	}
 	w.be.SubmitCPU(stage2, webStage2Done, req)
 }
 
@@ -234,6 +309,10 @@ func (w *WebAppServer) finish(req *webRequest) {
 func webStage2Done(arg any) {
 	req := arg.(*webRequest)
 	w := req.w
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
 	// Access log + session spill accumulate in the page cache and
 	// reach the disk on the writeback tick.
 	spill := w.params.SessionBytesPerRequest * (req.res.ResponseBytes / 9000)
@@ -247,7 +326,13 @@ func webStage2Done(arg any) {
 func webRespDone(arg any) {
 	req := arg.(*webRequest)
 	w := req.w
-	w.Served++
+	if req.failed {
+		if req.rt != nil {
+			req.rt.Outcome = OutcomeFailed
+		}
+	} else {
+		w.Served++
+	}
 	// Guard the decrement: tests drive HandleRequest directly without a
 	// cluster dispatch having incremented the gauge.
 	if w.inflight > 0 {
@@ -258,6 +343,56 @@ func webRespDone(arg any) {
 	if done != nil {
 		done(darg)
 	}
+}
+
+// stale reports whether the server crashed since the request was
+// admitted: its worker accounting was reset, so pending stage
+// callbacks must not touch it.
+func (w *WebAppServer) stale(req *webRequest) bool {
+	return w.down || w.epoch != req.epoch
+}
+
+// failRequest turns a request into an error response without touching
+// worker accounting (used for stale requests after a crash, and for
+// queued requests flushed by the crash itself).
+func (w *WebAppServer) failRequest(req *webRequest) {
+	req.failed = true
+	w.k.AfterCall(errorRespLatency, webRespDone, req)
+}
+
+// errorOut fails a live request whose DB instance is unreachable: the
+// worker slot frees normally, then the error response goes out.
+func (w *WebAppServer) errorOut(req *webRequest) {
+	w.release()
+	req.failed = true
+	w.k.AfterCall(errorRespLatency, webRespDone, req)
+}
+
+// crash takes the replica down: worker accounting resets, queued
+// requests flush as error responses, and the epoch bump detaches every
+// in-flight request (each pending stage callback turns into an error
+// response, so every caller's done eventually fires).
+func (w *WebAppServer) crash() {
+	if w.down {
+		return
+	}
+	w.down = true
+	w.epoch++
+	w.active = 0
+	w.inflight = 0
+	w.be.OS().RunQueue = 0
+	for _, req := range w.queue {
+		w.failRequest(req)
+	}
+	w.queue = w.queue[:0]
+}
+
+// restore brings a crashed replica back (empty queue, cold start).
+func (w *WebAppServer) restore() {
+	if !w.down {
+		return
+	}
+	w.down = false
 }
 
 func (w *WebAppServer) release() {
@@ -312,6 +447,14 @@ type DBServer struct {
 
 	// Queries counts handled calls.
 	Queries uint64
+
+	// down/epoch mirror the web tier's crash semantics: stale query
+	// stages send an error marker back instead of finishing, so the
+	// calling web replica's query chain always completes.
+	down  bool
+	epoch uint32
+	// slow is the fault-injected CPU slowdown factor.
+	slow float64
 }
 
 // dbCall is the pooled per-query state: the query cost receipt, the
@@ -323,6 +466,7 @@ type dbCall struct {
 	reply Path
 	done  sim.Callback
 	darg  any
+	epoch uint32
 }
 
 // NewDBServer builds the tier and starts its checkpoint ticker.
@@ -356,6 +500,16 @@ func (d *DBServer) checkpoint(now sim.Time) {
 // HandleQuery replays one query receipt; the reply bytes travel back
 // along reply, and done(arg) fires when they reached the web replica.
 func (d *DBServer) HandleQuery(q rubis.QueryCost, reply Path, done sim.Callback, arg any) {
+	if d.down {
+		// Crashed instance: bounce an error marker straight back.
+		c := d.callFree.Get()
+		c.d = d
+		c.reply = reply
+		c.done = done
+		c.darg = arg
+		d.errorReply(c)
+		return
+	}
 	d.Queries++
 	os := d.be.OS()
 	os.RunQueue++
@@ -366,7 +520,12 @@ func (d *DBServer) HandleQuery(q rubis.QueryCost, reply Path, done sim.Callback,
 	c.reply = reply
 	c.done = done
 	c.darg = arg
-	d.be.SubmitCPU(q.Receipt.CPUCycles, dbCPUDone, c)
+	c.epoch = d.epoch
+	cycles := q.Receipt.CPUCycles
+	if d.slow > 1 {
+		cycles *= d.slow
+	}
+	d.be.SubmitCPU(cycles, dbCPUDone, c)
 }
 
 // dbCPUDone fires after the query's CPU demand executed: read from disk
@@ -374,6 +533,10 @@ func (d *DBServer) HandleQuery(q rubis.QueryCost, reply Path, done sim.Callback,
 func dbCPUDone(arg any) {
 	c := arg.(*dbCall)
 	d := c.d
+	if d.down || d.epoch != c.epoch {
+		d.errorReply(c)
+		return
+	}
 	if c.q.Receipt.DiskReadBytes > 0 {
 		d.cache.Touch(c.q.Receipt.DiskReadBytes * 8)
 		d.be.DiskIO(c.q.Receipt.DiskReadBytes, false, dbReadDone, c)
@@ -385,6 +548,10 @@ func dbCPUDone(arg any) {
 // dbReadDone fires when the query's disk read completed.
 func dbReadDone(arg any) {
 	c := arg.(*dbCall)
+	if c.d.down || c.d.epoch != c.epoch {
+		c.d.errorReply(c)
+		return
+	}
 	c.d.finishQuery(c)
 }
 
@@ -407,4 +574,33 @@ func (d *DBServer) finishQuery(c *dbCall) {
 	replyBytes, reply, done, darg := c.q.ReplyBytes, c.reply, c.done, c.darg
 	d.callFree.Put(c)
 	reply.Transfer(replyBytes, done, darg)
+}
+
+// errorReply sends a crashed instance's error marker back along the
+// reply path (modeling the caller's connection reset) so the web
+// tier's query chain always completes; the caller detects the crash
+// through the instance's down/epoch state.
+func (d *DBServer) errorReply(c *dbCall) {
+	reply, done, darg := c.reply, c.done, c.darg
+	d.callFree.Put(c)
+	reply.Transfer(dbErrorReplyBytes, done, darg)
+}
+
+// crash takes the instance down: the epoch bump turns every in-flight
+// query stage into an error reply, and run-queue accounting resets.
+func (d *DBServer) crash() {
+	if d.down {
+		return
+	}
+	d.down = true
+	d.epoch++
+	d.be.OS().RunQueue = 0
+}
+
+// restore brings a crashed instance back.
+func (d *DBServer) restore() {
+	if !d.down {
+		return
+	}
+	d.down = false
 }

@@ -41,6 +41,14 @@ type LoadGen interface {
 	// Hists exposes the run-level response-time histograms: every served
 	// response, and the subset whose latency drove its session away.
 	Hists() (served, abandoned *telemetry.Hist)
+	// EnableFaultTelemetry materializes the error/timeout/shed/retry/
+	// availability series (fault-injection runs; retries supplies the
+	// guard's cumulative retry count, nil for a constant zero).
+	EnableFaultTelemetry(retries func() uint64)
+	// RequestTotals splits issued requests by outcome. issued counts
+	// requests dispatched into the serving path; the remainder
+	// (issued - served - timedOut - shed - failed) is still in flight.
+	RequestTotals() (issued, served, timedOut, shed, failed uint64)
 }
 
 // driverStats is the outcome accounting shared by the closed-loop and
@@ -54,6 +62,14 @@ type driverStats struct {
 	// Completed counts finished interactions; Errors counts failed ones.
 	Completed uint64
 	Errors    uint64
+
+	// Issued counts requests dispatched into the serving path;
+	// TimedOut/Shed/Failed split the abnormal outcomes (Completed
+	// covers the served remainder). All zero on fault-free runs.
+	Issued   uint64
+	TimedOut uint64
+	Shed     uint64
+	Failed   uint64
 
 	rec      *telemetry.Recorder
 	inflight int
@@ -73,8 +89,11 @@ func (s *driverStats) initStats(prealloc bool) {
 }
 
 // observeSent marks one request leaving the client, for the in-flight
-// concurrency gauge.
-func (s *driverStats) observeSent() { s.inflight++ }
+// concurrency gauge and the issued tally.
+func (s *driverStats) observeSent() {
+	s.inflight++
+	s.Issued++
+}
 
 // observe records one completed interaction's response time in
 // seconds, attributed to its read or read-write class.
@@ -82,6 +101,35 @@ func (s *driverStats) observe(rt float64, isWrite bool) {
 	s.Completed++
 	s.inflight--
 	s.rec.Record(rt, isWrite)
+}
+
+// observeFault records one request that ended abnormally: it counts
+// toward the outcome split and the per-window fault series, but its
+// turnaround never enters the latency pipeline (an error response's
+// sub-millisecond "latency" would poison the served distribution).
+func (s *driverStats) observeFault(o Outcome) {
+	s.inflight--
+	switch o {
+	case OutcomeTimedOut:
+		s.TimedOut++
+		s.rec.NoteTimeout()
+	case OutcomeShed:
+		s.Shed++
+		s.rec.NoteShed()
+	default:
+		s.Failed++
+		s.rec.NoteFailure()
+	}
+}
+
+// EnableFaultTelemetry implements LoadGen.
+func (s *driverStats) EnableFaultTelemetry(retries func() uint64) {
+	s.rec.EnableFaultSeries(retries)
+}
+
+// RequestTotals implements LoadGen.
+func (s *driverStats) RequestTotals() (issued, served, timedOut, shed, failed uint64) {
+	return s.Issued, s.Completed, s.TimedOut, s.Shed, s.Failed
 }
 
 // noteInteraction tallies one successfully executed interaction.

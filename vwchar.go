@@ -22,6 +22,7 @@ import (
 
 	"vwchar/internal/characterize"
 	"vwchar/internal/experiment"
+	"vwchar/internal/faults"
 	"vwchar/internal/load"
 	"vwchar/internal/model"
 	"vwchar/internal/plot"
@@ -340,6 +341,68 @@ const (
 func AnalyzeScaling(r *Result, sloMillis float64) ScalingAnalysis {
 	return characterize.AnalyzeScaling(r, sloMillis)
 }
+
+// Fault injection and resilience (internal/faults, internal/tiers):
+// Config.Faults carries a seed-deterministic fault schedule (web/DB
+// crashes, whole-machine failures, degraded modes) expanded into an
+// explicit timeline before the run starts; Config.Resilience arms the
+// serving path with per-call timeouts, bounded retries with budgets,
+// health-check ejection, DB primary failover, and an optional circuit
+// breaker. Both nil reproduces the fault-free runs byte for byte.
+type (
+	// FaultSchedule is the JSON round-trippable fault description.
+	FaultSchedule = faults.Schedule
+	// FaultComponent is one fault source (MTTF/MTTR or one-shot).
+	FaultComponent = faults.Component
+	// FaultEvent is one expanded timeline entry.
+	FaultEvent = faults.Event
+	// ResilienceSpec configures the guarded serving path.
+	ResilienceSpec = faults.ResilienceSpec
+	// BreakerSpec configures the optional circuit breaker.
+	BreakerSpec = faults.BreakerSpec
+	// ChaosScenario is one catalog entry pairing faults with the
+	// resilience posture and load shape that exercises them.
+	ChaosScenario = faults.Scenario
+	// RequestStats is the per-run request-outcome accounting.
+	RequestStats = experiment.RequestStats
+	// GuardStats counts the resilience layer's interventions.
+	GuardStats = tiers.GuardStats
+	// FailoverEvent records one DB primary promotion.
+	FailoverEvent = tiers.FailoverEvent
+	// AvailabilityAnalysis is the fault-injection view of a run.
+	AvailabilityAnalysis = characterize.AvailabilityAnalysis
+)
+
+// ChaosScenarios returns the built-in chaos scenario catalog by name.
+func ChaosScenarios() map[string]ChaosScenario { return faults.Scenarios() }
+
+// ChaosScenarioNames lists the catalog names, sorted.
+func ChaosScenarioNames() []string { return faults.ScenarioNames() }
+
+// ChaosScenario returns the named built-in chaos scenario.
+func ChaosScenarioByName(name string) (ChaosScenario, error) { return faults.ScenarioByName(name) }
+
+// DefaultResilience is a sane guarded-path posture: 1 s timeouts, two
+// retries with budget, health checks, failover after 5 s.
+func DefaultResilience() ResilienceSpec { return *faults.DefaultResilience() }
+
+// AnalyzeAvailability computes the availability analysis of a run
+// against an SLO in milliseconds: delivered availability, loss split,
+// MTTR as observed, time-to-failover, and fault-attributed SLO debt.
+func AnalyzeAvailability(r *Result, sloMillis float64) AvailabilityAnalysis {
+	return characterize.AnalyzeAvailability(r, sloMillis)
+}
+
+// Fault metrics reported by sweep points whose runs carried a fault
+// schedule or resilience spec.
+const (
+	MetricTimedOut     = runner.MetricTimedOut
+	MetricShed         = runner.MetricShed
+	MetricFailedReq    = runner.MetricFailedReq
+	MetricRetries      = runner.MetricRetries
+	MetricAvailability = runner.MetricAvailability
+	MetricFailovers    = runner.MetricFailovers
+)
 
 // BuildSaturationFigure assembles the Figure 9-style panel from one
 // run: web CPU demand paired with per-window latency p95 on a shared
