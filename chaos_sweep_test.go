@@ -88,9 +88,9 @@ func TestChaosSweepByteIdenticalAcrossWorkers(t *testing.T) {
 			if rq == nil {
 				t.Fatalf("%s: fault run missing request accounting", pr.Point.Name)
 			}
-			if sum := rq.Served + rq.TimedOut + rq.Shed + rq.Failed + rq.InFlight; sum != rq.Issued {
-				t.Fatalf("%s: accounting broken: served %d + timed-out %d + shed %d + failed %d + in-flight %d != issued %d",
-					pr.Point.Name, rq.Served, rq.TimedOut, rq.Shed, rq.Failed, rq.InFlight, rq.Issued)
+			if sum := rq.Served + rq.TimedOut + rq.Shed + rq.Failed + rq.Degraded + rq.InFlight; sum != rq.Issued {
+				t.Fatalf("%s: accounting broken: served %d + timed-out %d + shed %d + failed %d + degraded %d + in-flight %d != issued %d",
+					pr.Point.Name, rq.Served, rq.TimedOut, rq.Shed, rq.Failed, rq.Degraded, rq.InFlight, rq.Issued)
 			}
 			// Non-vacuous per rep: the dead primary forced a promotion,
 			// traffic was served, and the guard actually intervened.

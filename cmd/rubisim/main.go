@@ -46,6 +46,9 @@ func main() {
 	mttf := flag.Float64("mttf", 0, "ad-hoc web-replica crash MTTF in seconds (recurring)")
 	mttr := flag.Float64("mttr", 0, "repair time in seconds for -mttf crashes (0: 30 s)")
 	slowFactor := flag.Float64("slow-factor", 0, "degrade machine 0's CPU by this factor mid-run (>1)")
+	hazardUtil := flag.Float64("hazard-util", 0, "arm the load-coupled crash hazard at this per-replica utilization (queue depth / workers)")
+	hazardProb := flag.Float64("hazard-prob", 0.05, "per-window crash probability once a replica is over -hazard-util")
+	brownoutUtil := flag.Float64("brownout-util", 0, "arm the overload controller: mean web utilization that starts browning out optional reads")
 	flag.Parse()
 
 	cfg, err := buildConfig(*env, *mix, *clients, *duration, *seed, *loadName, *rate, *trace)
@@ -53,7 +56,7 @@ func main() {
 		err = applyTopology(&cfg, *webReplicas, *maxWeb, *dbReplicas, *lb, *machines, *autoscale, *sloMillis)
 	}
 	if err == nil {
-		err = applyFaults(&cfg, *faultsName, *mttf, *mttr, *slowFactor, *duration)
+		err = applyFaults(&cfg, *faultsName, *mttf, *mttr, *slowFactor, *duration, *hazardUtil, *hazardProb, *brownoutUtil)
 	}
 	if err == nil {
 		err = run(cfg, *csv, *sloMillis, os.Stdout)
@@ -135,12 +138,14 @@ func applyTopology(cfg *vwchar.Config, webReplicas, maxWeb, dbReplicas int, lb s
 }
 
 // applyFaults attaches a fault schedule: a catalog scenario by name,
-// an ad-hoc recurring web-replica crash (-mttf/-mttr), and/or a
-// mid-run slow machine (-slow-factor). Scenarios bring their own load
-// shape (unless one was chosen), resilience posture, and topology
-// minimums; ad-hoc faults pair with the default resilience spec.
-func applyFaults(cfg *vwchar.Config, name string, mttf, mttr, slowFactor, duration float64) error {
-	if name == "" && mttf == 0 && slowFactor == 0 {
+// an ad-hoc recurring web-replica crash (-mttf/-mttr), a mid-run slow
+// machine (-slow-factor), the load-coupled crash hazard
+// (-hazard-util/-hazard-prob), and/or the overload controller
+// (-brownout-util). Scenarios bring their own load shape (unless one
+// was chosen), resilience posture, and topology minimums; ad-hoc
+// faults pair with the default resilience spec.
+func applyFaults(cfg *vwchar.Config, name string, mttf, mttr, slowFactor, duration, hazardUtil, hazardProb, brownoutUtil float64) error {
+	if name == "" && mttf == 0 && slowFactor == 0 && hazardUtil == 0 && brownoutUtil == 0 {
 		if mttr != 0 {
 			return fmt.Errorf("-mttr needs -mttf")
 		}
@@ -187,10 +192,21 @@ func applyFaults(cfg *vwchar.Config, name string, mttf, mttr, slowFactor, durati
 		}
 		minMachines = max(minMachines, 1)
 	}
+	if hazardUtil > 0 {
+		sched.Hazard = &vwchar.HazardSpec{
+			UtilThreshold: hazardUtil,
+			CrashProb:     hazardProb,
+			MTTRSeconds:   60,
+		}
+		minWeb = max(minWeb, 2)
+	}
 	cfg.Faults = sched
 	if cfg.Resilience == nil {
 		res := vwchar.DefaultResilience()
 		cfg.Resilience = &res
+	}
+	if brownoutUtil > 0 {
+		cfg.Resilience.Brownout = &vwchar.BrownoutSpec{EnterUtil: brownoutUtil}
 	}
 	if cfg.Topology == nil && (minWeb > 1 || minDB > 0 || minMachines > 1) {
 		cfg.Topology = &vwchar.Topology{}
@@ -235,6 +251,12 @@ func run(cfg vwchar.Config, csv bool, sloMillis float64, w io.Writer) error {
 	}
 	if res.Requests != nil {
 		if err := vwchar.AnalyzeAvailability(res, sloMillis).Write(w); err != nil {
+			return err
+		}
+	}
+	correlated := cfg.Faults != nil && cfg.Faults.Correlation != nil && !cfg.Faults.Correlation.Empty()
+	if res.Hazard != nil || res.Brownout != nil || correlated {
+		if err := vwchar.AnalyzeCascade(res, sloMillis).Write(w); err != nil {
 			return err
 		}
 	}

@@ -87,7 +87,7 @@ func TestRunSmokeFaults(t *testing.T) {
 	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
 	cfg.Clients = 20
 	cfg.Duration = 40 * sim.Second
-	if err := applyFaults(&cfg, "kill-web-replica", 0, 0, 0, 40); err != nil {
+	if err := applyFaults(&cfg, "kill-web-replica", 0, 0, 0, 40, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Faults == nil || cfg.Resilience == nil {
@@ -112,18 +112,18 @@ func TestRunSmokeFaults(t *testing.T) {
 // TestFaultFlagValidation pins the ad-hoc fault flags' dependencies.
 func TestFaultFlagValidation(t *testing.T) {
 	cfg := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBrowsing)
-	if err := applyFaults(&cfg, "", 0, 20, 0, 40); err == nil {
+	if err := applyFaults(&cfg, "", 0, 20, 0, 40, 0, 0, 0); err == nil {
 		t.Fatal("-mttr without -mttf accepted")
 	}
-	if err := applyFaults(&cfg, "", 0, 0, 0.5, 40); err == nil {
+	if err := applyFaults(&cfg, "", 0, 0, 0.5, 40, 0, 0, 0); err == nil {
 		t.Fatal("-slow-factor below 1 accepted")
 	}
-	if err := applyFaults(&cfg, "no-such-scenario", 0, 0, 0, 40); err == nil {
+	if err := applyFaults(&cfg, "no-such-scenario", 0, 0, 0, 40, 0, 0, 0); err == nil {
 		t.Fatal("unknown chaos scenario accepted")
 	}
 	adhoc := vwchar.DefaultConfig(vwchar.Virtualized, vwchar.MixBidding)
 	adhoc.Clients = 10
-	if err := applyFaults(&adhoc, "", 200, 0, 0, 40); err != nil {
+	if err := applyFaults(&adhoc, "", 200, 0, 0, 40, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if adhoc.Faults.WebCrash == nil || adhoc.Faults.WebCrash.MTTRSeconds != 30 {

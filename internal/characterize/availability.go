@@ -24,6 +24,7 @@ type AvailabilityAnalysis struct {
 	TimedOut uint64
 	Shed     uint64
 	Failed   uint64
+	Degraded uint64
 	InFlight uint64
 
 	// Delivered is served / (issued - in-flight): the fraction of
@@ -42,9 +43,13 @@ type AvailabilityAnalysis struct {
 	// Outages counts maximal runs of telemetry windows whose
 	// availability dropped below 99%; MTTRObservedSec is their mean
 	// length — repair time as the clients experienced it, not as the
-	// fault schedule wrote it.
+	// fault schedule wrote it. OpenOutageAtEnd reports an outage still
+	// in progress when the run's horizon cut it off: its observed
+	// length (and so the MTTR mean) is a lower bound, and the system
+	// never demonstrated recovery from it.
 	Outages         int
 	MTTRObservedSec float64
+	OpenOutageAtEnd bool
 
 	// WorstWindowAvailability is the minimum per-window availability;
 	// FaultWindows counts windows below 100%.
@@ -75,6 +80,7 @@ func AnalyzeAvailability(r *experiment.Result, sloMillis float64) AvailabilityAn
 		a.TimedOut = rq.TimedOut
 		a.Shed = rq.Shed
 		a.Failed = rq.Failed
+		a.Degraded = rq.Degraded
 		a.InFlight = rq.InFlight
 		if concluded := rq.Issued - rq.InFlight; concluded > 0 {
 			a.Delivered = float64(rq.Served) / float64(concluded)
@@ -120,6 +126,7 @@ func AnalyzeAvailability(r *experiment.Result, sloMillis float64) AvailabilityAn
 			inOutage = false
 		}
 	}
+	a.OpenOutageAtEnd = inOutage
 	if a.Outages > 0 {
 		a.MTTRObservedSec = float64(outageWindows) * avail.Interval / float64(a.Outages)
 	}
@@ -135,9 +142,16 @@ func (a AvailabilityAnalysis) Write(w io.Writer) error {
 	outage := "no outage windows"
 	if a.Outages > 0 {
 		outage = fmt.Sprintf("%d outage(s), MTTR-as-observed %.1f s", a.Outages, a.MTTRObservedSec)
+		if a.OpenOutageAtEnd {
+			outage += " (STILL OPEN at run end)"
+		}
+	}
+	degraded := ""
+	if a.Degraded > 0 {
+		degraded = fmt.Sprintf(" (%d degraded)", a.Degraded)
 	}
 	_, err := fmt.Fprintf(w,
-		"availability: %.4f delivered (%d served / %d timed-out / %d shed / %d failed of %d issued, %d in flight)\n"+
+		"availability: %.4f delivered (%d served / %d timed-out / %d shed / %d failed of %d issued, %d in flight)"+degraded+"\n"+
 			"retries %d, breaker opens %d; %s\n"+
 			"%s; worst window %.3f, %d degraded windows, fault-attributed SLO debt %.1f s (SLO %.0f ms)\n",
 		a.Delivered, a.Served, a.TimedOut, a.Shed, a.Failed, a.Issued, a.InFlight,

@@ -93,6 +93,49 @@ func TestAnalyzeAvailabilitySynthetic(t *testing.T) {
 	}
 }
 
+// TestAnalyzeAvailabilityOpenOutage pins the open-outage flag: a run
+// that ends inside an outage must say so, because the observed MTTR is
+// then only a lower bound — the system never demonstrated recovery.
+func TestAnalyzeAvailabilityOpenOutage(t *testing.T) {
+	r := &experiment.Result{
+		Requests: &experiment.RequestStats{
+			Issued: 100, Served: 60, Failed: 30, Degraded: 10,
+		},
+		Telemetry: &telemetry.WindowSeries{
+			Availability: seriesOf("availability", "fraction", 1, 1, 0.5, 0.4, 0.3),
+			LatencyP95:   seriesOf("p95", "ms", 100, 100, 100, 100, 100),
+			Throughput:   seriesOf("throughput", "req/s", 50, 50, 50, 50, 50),
+		},
+	}
+	a := AnalyzeAvailability(r, 500)
+	if !a.OpenOutageAtEnd {
+		t.Fatal("run ends three windows deep in an outage, OpenOutageAtEnd is false")
+	}
+	if a.Outages != 1 {
+		t.Fatalf("Outages = %d, want 1", a.Outages)
+	}
+	if a.Degraded != 10 {
+		t.Fatalf("Degraded = %d, want 10", a.Degraded)
+	}
+	var sb strings.Builder
+	if err := a.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "STILL OPEN at run end") {
+		t.Errorf("Write output does not flag the open outage:\n%s", out)
+	}
+	if !strings.Contains(out, "(10 degraded)") {
+		t.Errorf("Write output does not report degraded answers:\n%s", out)
+	}
+
+	// The same shape with a recovery window at the end is closed.
+	r.Telemetry.Availability = seriesOf("availability", "fraction", 1, 1, 0.5, 0.4, 1)
+	if a := AnalyzeAvailability(r, 500); a.OpenOutageAtEnd {
+		t.Fatal("outage recovered in the final window, OpenOutageAtEnd is true")
+	}
+}
+
 func TestAnalyzeAvailabilityFaultFree(t *testing.T) {
 	// No request accounting, no guard, no availability series: the
 	// analysis must report a fully healthy run, not zeros.

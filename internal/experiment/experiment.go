@@ -151,14 +151,18 @@ type ScalingStats struct {
 }
 
 // RequestStats splits issued requests by outcome. The invariant
-// Issued = Served + TimedOut + Shed + Failed + InFlight always holds
-// (InFlight is demand still in the pipe when the run ended).
+// Issued = Served + TimedOut + Shed + Failed + Degraded + InFlight
+// always holds (InFlight is demand still in the pipe when the run
+// ended).
 type RequestStats struct {
 	Issued   uint64 `json:"issued"`
 	Served   uint64 `json:"served"`
 	TimedOut uint64 `json:"timed_out"`
 	Shed     uint64 `json:"shed"`
 	Failed   uint64 `json:"failed"`
+	// Degraded counts requests deliberately answered degraded by the
+	// overload controller (brownout drops and over-bound fast-fails).
+	Degraded uint64 `json:"degraded"`
 	InFlight uint64 `json:"in_flight"`
 }
 
@@ -237,6 +241,12 @@ type Result struct {
 	// FaultTimeline is the expanded fault schedule the run executed;
 	// nil without a Faults schedule.
 	FaultTimeline []faults.Event
+	// Hazard is the load-coupled crash hazard's accounting; nil unless
+	// Faults.Hazard was configured (non-nil even when it never fired).
+	Hazard *tiers.HazardStats
+	// Brownout is the overload controller's accounting; nil unless
+	// Resilience.Brownout was configured.
+	Brownout *tiers.BrownoutStats
 }
 
 // CPU returns the per-2s cycle demand series for tier ("webapp",
@@ -403,6 +413,29 @@ func Run(cfg Config) (*Result, error) {
 		monitor.Start()
 	}
 
+	// The endogenous coupling layer: the load-reading crash hazard and
+	// the brownout controller both evaluate at window boundaries on the
+	// collector ticker (hooks registered below, after the drivers'
+	// rotation, in fixed order), so their in-run decisions are as
+	// deterministic as the pre-expanded timeline.
+	var hazard *tiers.Hazard
+	var overload *tiers.Overload
+	if cfg.Faults != nil && cfg.Faults.Hazard != nil && inst != nil {
+		hazard = tiers.NewHazard(k, inst.cluster, *cfg.Faults.Hazard, src.Stream("fault-hazard"))
+	}
+	if cfg.Resilience != nil && cfg.Resilience.Brownout != nil && inst != nil {
+		overload = tiers.NewOverload(inst.cluster, *cfg.Resilience.Brownout)
+		inst.cluster.SetOverload(overload)
+		for _, g := range guards {
+			g.SetOverload(overload)
+		}
+	}
+	if inst != nil && topo.Autoscaler != nil {
+		// Emergency backfill after an ejection pays the same
+		// provisioning delay as a scale-up.
+		inst.cluster.SetBackfillBoot(sim.Seconds(topo.Autoscaler.BootSeconds))
+	}
+
 	// Rotate every driver's telemetry window on the collector's
 	// sampling ticker: latency windows and resource samples close at
 	// the same instants, in deterministic driver order. Reserving the
@@ -423,9 +456,33 @@ func Run(cfg Config) (*Result, error) {
 			drv.EnableFaultTelemetry(retries)
 		}
 	}
+	if hazard != nil || overload != nil {
+		// Materialize the degradation series before capacity is
+		// reserved.
+		var level func() int
+		if overload != nil {
+			level = overload.Level
+		}
+		var rate func() float64
+		if hazard != nil {
+			rate = hazard.WindowRate
+		}
+		for _, drv := range drivers {
+			drv.EnableDegradationTelemetry(level, rate)
+		}
+	}
 	for _, drv := range drivers {
 		drv.ReserveWindows(windows)
 		collector.OnSample(drv.RotateWindow)
+	}
+	// Window-boundary actors run after rotation in fixed order: hazard
+	// crashes first, then the brownout controller re-levels, then the
+	// autoscaler decides — every run sees the identical sequence.
+	if hazard != nil {
+		collector.OnSample(hazard.OnSample)
+	}
+	if overload != nil {
+		collector.OnSample(overload.OnSample)
 	}
 	if inst != nil && topo.Autoscaler != nil {
 		// Registered after the drivers' RotateWindow hooks, so each
@@ -494,15 +551,24 @@ func Run(cfg Config) (*Result, error) {
 	if faulty {
 		rs := &RequestStats{}
 		for _, drv := range drivers {
-			issued, served, timedOut, shed, failed := drv.RequestTotals()
+			issued, served, timedOut, shed, failed, degraded := drv.RequestTotals()
 			rs.Issued += issued
 			rs.Served += served
 			rs.TimedOut += timedOut
 			rs.Shed += shed
 			rs.Failed += failed
+			rs.Degraded += degraded
 		}
-		rs.InFlight = rs.Issued - rs.Served - rs.TimedOut - rs.Shed - rs.Failed
+		rs.InFlight = rs.Issued - rs.Served - rs.TimedOut - rs.Shed - rs.Failed - rs.Degraded
 		res.Requests = rs
+	}
+	if hazard != nil {
+		stats := hazard.Stats
+		res.Hazard = &stats
+	}
+	if overload != nil {
+		stats := overload.Stats
+		res.Brownout = &stats
 	}
 	if len(guards) > 0 {
 		stats := guards[0].Stats

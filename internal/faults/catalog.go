@@ -46,6 +46,75 @@ func scenarios() map[string]Scenario {
 			},
 			Resilience: *DefaultResilience(),
 		},
+		"rack-loss": {
+			Name:           "rack-loss",
+			Summary:        "a shared-fate rack holding machines 0 and 1 fails together at t=180s and is restored after ~90s",
+			Load:           "steady",
+			MinWebReplicas: 2,
+			MinMachines:    2,
+			Faults: Schedule{
+				Correlation: &Correlation{
+					Groups: []SharedFateGroup{{
+						Name: "rack0", Machines: []int{0, 1},
+						AtSeconds: 180, MTTRSeconds: 90,
+					}},
+				},
+			},
+			Resilience: *DefaultResilience(),
+		},
+		"peak-storm": {
+			Name:           "peak-storm",
+			Summary:        "a diurnal fault storm crashes web replicas at 3x the base rate around the load peak",
+			Load:           "diurnal",
+			MinWebReplicas: 3,
+			Faults: Schedule{
+				Correlation: &Correlation{
+					Storms: []Storm{{
+						Name: "peak", Component: "web_crash",
+						RatePerHour: 30, Profile: ProfileDiurnal,
+						PeriodSeconds: 600, PeakSeconds: 300, PeakFactor: 3,
+						MTTRSeconds: 45,
+					}},
+				},
+			},
+			Resilience: *DefaultResilience(),
+		},
+		"load-cascade": {
+			Name:           "load-cascade",
+			Summary:        "one web replica crashes exogenously; the survivors' overload feeds a load-coupled crash hazard",
+			Load:           "flash-crowd",
+			MinWebReplicas: 3,
+			Faults: Schedule{
+				WebCrash: &Component{AtSeconds: 150, MTTRSeconds: 120, Targets: []int{1}},
+				Hazard:   &HazardSpec{UtilThreshold: 4, CrashProb: 0.05, MTTRSeconds: 60, MaxCrashes: 2},
+			},
+			Resilience: *DefaultResilience(),
+		},
+		"brownout": {
+			Name:           "brownout",
+			Summary:        "load-cascade with the overload controller armed: optional reads brown out before the hazard can compound",
+			Load:           "flash-crowd",
+			MinWebReplicas: 3,
+			Faults: Schedule{
+				WebCrash: &Component{AtSeconds: 150, MTTRSeconds: 120, Targets: []int{1}},
+				Hazard:   &HazardSpec{UtilThreshold: 4, CrashProb: 0.05, MTTRSeconds: 60, MaxCrashes: 2},
+			},
+			Resilience: func() ResilienceSpec {
+				r := *DefaultResilience()
+				r.Brownout = &BrownoutSpec{EnterUtil: 2, ExitUtil: 1, DropFraction: 0.5, MaxLevel: 2}
+				return r
+			}(),
+		},
+		"autoscaler-chaos": {
+			Name:           "autoscaler-chaos",
+			Summary:        "web replicas crash mid-scale-up under a ramp; ejection must not starve minActive and the scaler must not double-provision",
+			Load:           "flash-crowd",
+			MinWebReplicas: 2,
+			Faults: Schedule{
+				WebCrash: &Component{AtSeconds: 200, MTTFSeconds: 240, MTTRSeconds: 90, Targets: []int{0, 1}},
+			},
+			Resilience: *DefaultResilience(),
+		},
 		"slow-machine": {
 			Name:        "slow-machine",
 			Summary:     "machine 0 limps at 3x CPU demand for 120s; retries and the breaker keep the tail bounded",

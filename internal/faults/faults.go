@@ -13,7 +13,6 @@ package faults
 
 import (
 	"fmt"
-	"sort"
 
 	"vwchar/internal/rng"
 	"vwchar/internal/sim"
@@ -66,13 +65,22 @@ type Schedule struct {
 	// PathDelay adds Value seconds to every cross-machine transfer
 	// while active (single global target).
 	PathDelay *Component `json:"path_delay,omitempty"`
+	// Correlation layers coupled failure modes (shared-fate groups,
+	// storms, conditional triggers) on top of the independent
+	// components above; nil adds nothing.
+	Correlation *Correlation `json:"correlation,omitempty"`
+	// Hazard couples crashes to load at run time: a per-window crash
+	// probability for overloaded web replicas, drawn in-run from a
+	// dedicated substream (it cannot be pre-expanded); nil disables.
+	Hazard *HazardSpec `json:"hazard,omitempty"`
 }
 
 // Empty reports whether the schedule injects no faults at all.
 func (s *Schedule) Empty() bool {
 	return s == nil || (s.WebCrash == nil && s.DBCrash == nil &&
 		s.MachineCrash == nil && s.SlowNode == nil &&
-		s.LagSpike == nil && s.PathDelay == nil)
+		s.LagSpike == nil && s.PathDelay == nil &&
+		s.Correlation.Empty() && s.Hazard == nil)
 }
 
 func (c *Component) validate(name string, needValue bool, minValue float64) error {
@@ -81,6 +89,9 @@ func (c *Component) validate(name string, needValue bool, minValue float64) erro
 	}
 	if c.MTTFSeconds == 0 && c.AtSeconds == 0 {
 		return fmt.Errorf("faults: %s: need mttf_seconds > 0 (recurring) or at_seconds > 0 (one-shot)", name)
+	}
+	if c.MTTFSeconds > 0 && c.MTTFSeconds < minMTTF {
+		return fmt.Errorf("faults: %s: mttf_seconds below %g would explode the timeline", name, minMTTF)
 	}
 	for _, t := range c.Targets {
 		if t < 0 {
@@ -122,7 +133,10 @@ func (s *Schedule) Validate() error {
 			return err
 		}
 	}
-	return nil
+	if err := s.Correlation.Validate(); err != nil {
+		return err
+	}
+	return s.Hazard.Validate()
 }
 
 // Kind identifies a timeline event type. Down/Start events flip a
@@ -168,6 +182,9 @@ type Event struct {
 	// Value carries the degraded-mode magnitude for Slow/Lag/Delay
 	// start events (same meaning as Component.Value); 0 otherwise.
 	Value float64 `json:"value,omitempty"`
+	// Origin names the correlation feature (group, storm, or trigger)
+	// that produced the event; empty for base-component events.
+	Origin string `json:"origin,omitempty"`
 }
 
 // Targets gives the instance counts a schedule expands against.
@@ -225,15 +242,15 @@ func (s *Schedule) Expand(duration sim.Time, tg Targets, src *rng.Source) []Even
 			events = appendComponent(events, sp.c, sp.down, sp.up, t, sp.value, duration, st)
 		}
 	}
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].At != events[j].At {
-			return events[i].At < events[j].At
-		}
-		if events[i].Kind != events[j].Kind {
-			return events[i].Kind < events[j].Kind
-		}
-		return events[i].Target < events[j].Target
-	})
+	if c := s.Correlation; !c.Empty() {
+		events = c.expandGroups(events, duration, tg, src)
+		events = c.expandStorms(events, duration, tg, src)
+		// Triggers thin against the condition's down intervals, so the
+		// pre-trigger timeline must be ordered first.
+		sortEvents(events)
+		events = c.expandTriggers(events, duration, tg, src)
+	}
+	sortEvents(events)
 	return events
 }
 

@@ -35,6 +35,9 @@ type ResilienceSpec struct {
 	FailoverDetectSeconds float64 `json:"failover_detect_seconds,omitempty"`
 	// Breaker enables circuit breaking / load shedding; nil disables.
 	Breaker *BreakerSpec `json:"breaker,omitempty"`
+	// Brownout enables the overload controller (graceful degradation
+	// under load); nil disables.
+	Brownout *BrownoutSpec `json:"brownout,omitempty"`
 }
 
 // BreakerSpec configures the circuit breaker: when the failure
@@ -76,6 +79,10 @@ func (r ResilienceSpec) WithDefaults() ResilienceSpec {
 		}
 		r.Breaker = &b
 	}
+	if r.Brownout != nil {
+		b := r.Brownout.WithDefaults()
+		r.Brownout = &b
+	}
 	return r
 }
 
@@ -108,7 +115,7 @@ func (r *ResilienceSpec) Validate() error {
 			return fmt.Errorf("faults: breaker: negative window_requests or open_millis")
 		}
 	}
-	return nil
+	return r.Brownout.Validate()
 }
 
 // DefaultResilience is a sensible production-flavored spec: 1s

@@ -400,6 +400,18 @@ const (
 	MetricFailovers    = "failovers"
 )
 
+// MetricDegraded, MetricHazardCrashes, MetricBrownoutPeak and
+// MetricBrownoutDropped are the correlated-failure scalars; they are
+// emitted only when a crash hazard or overload controller was
+// configured (Result.Hazard / Result.Brownout non-nil), so runs
+// without them keep their metric set byte-identical.
+const (
+	MetricDegraded        = "degraded"
+	MetricHazardCrashes   = "hazard_crashes"
+	MetricBrownoutPeak    = "brownout_peak_level"
+	MetricBrownoutDropped = "brownout_dropped"
+)
+
 // MetricCPU, MetricMem, MetricDisk and MetricNet name the per-tier
 // aggregates; use these instead of hand-concatenating metric names so a
 // typo is a compile-time symbol error, not a silent zero Metric.
@@ -455,6 +467,22 @@ func scalars(r *experiment.Result) []NamedMetric {
 			NamedMetric{MetricRetries, Metric{Mean: float64(retries)}},
 			NamedMetric{MetricAvailability, Metric{Mean: avail}},
 			NamedMetric{MetricFailovers, Metric{Mean: float64(len(r.Failovers))}},
+		)
+	}
+	if r.Hazard != nil || r.Brownout != nil {
+		var degraded uint64
+		if r.Requests != nil {
+			degraded = r.Requests.Degraded
+		}
+		out = append(out, NamedMetric{MetricDegraded, Metric{Mean: float64(degraded)}})
+	}
+	if r.Hazard != nil {
+		out = append(out, NamedMetric{MetricHazardCrashes, Metric{Mean: float64(len(r.Hazard.Crashes))}})
+	}
+	if r.Brownout != nil {
+		out = append(out,
+			NamedMetric{MetricBrownoutPeak, Metric{Mean: float64(r.Brownout.PeakLevel)}},
+			NamedMetric{MetricBrownoutDropped, Metric{Mean: float64(r.Brownout.Dropped)}},
 		)
 	}
 	// Resource scalars over the run's actual collector targets — the

@@ -27,3 +27,12 @@ func (f *FreeList[T]) Put(x *T) {
 	*x = zero
 	f.items = append(f.items, x)
 }
+
+// PutReset parks x after the caller has already reset its state.
+// Unlike Put it does not zero x, so a caller that owns amortized
+// buffers inside T (slices trimmed to length zero) can keep their
+// capacity across recycles. The caller carries Put's obligation: every
+// pointer and callback field must be cleared before parking.
+func (f *FreeList[T]) PutReset(x *T) {
+	f.items = append(f.items, x)
+}

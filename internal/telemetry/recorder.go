@@ -37,6 +37,9 @@ var SeriesNames = []string{
 	"failures",
 	"retries",
 	"availability",
+	"degraded",
+	"brownout_level",
+	"hazard_rate",
 }
 
 // WindowSeries is the per-window output of a Recorder: one sample per
@@ -68,6 +71,13 @@ type WindowSeries struct {
 	// Availability is served/(served+abnormal) per window. All nil
 	// unless fault telemetry was enabled (fault-injection runs).
 	Timeouts, Sheds, Failures, Retries, Availability *timeseries.Series
+	// Degraded counts requests answered degraded per window (brownout
+	// drops and over-bound fast-fails); BrownoutLevel is the overload
+	// controller's degradation-level gauge at each boundary; HazardRate
+	// is the load-coupled hazard's armed probability mass for the
+	// window that just closed. All nil unless degradation telemetry was
+	// enabled (hazard/brownout runs).
+	Degraded, BrownoutLevel, HazardRate *timeseries.Series
 }
 
 // All lists the series in SeriesNames order. Entries may be nil (the
@@ -78,6 +88,7 @@ func (w *WindowSeries) All() []*timeseries.Series {
 		w.Throughput, w.Inflight, w.Starts, w.Ends,
 		w.LatencyReadP95, w.LatencyRWP95, w.Abandoned, w.Replicas,
 		w.Timeouts, w.Sheds, w.Failures, w.Retries, w.Availability,
+		w.Degraded, w.BrownoutLevel, w.HazardRate,
 	}
 }
 
@@ -139,6 +150,13 @@ type Recorder struct {
 	winTimeouts, winSheds, winFails uint64
 	retryFn                         func() uint64
 	lastRetries                     uint64
+
+	// Degradation accounting (hazard/brownout runs only): window-local
+	// degraded-outcome counter plus the level and hazard-rate gauges
+	// sampled at each boundary.
+	winDegraded uint64
+	levelGauge  func() int
+	hazardGauge func() float64
 
 	// exact is the bounded exact reservoir backing small-count
 	// run-level quantiles; sorted tracks whether it is currently in
@@ -215,6 +233,23 @@ func (r *Recorder) EnableFaultSeries(retries func() uint64) {
 	}
 }
 
+// EnableDegradationSeries materializes the per-window degradation
+// series (degraded count, brownout level, hazard rate); absent the
+// call they stay nil and consumers skip them. level and hazardRate
+// supply the controller/hazard gauges sampled at each boundary (nil
+// samples as zero; the hazard rate reflects the window that closed at
+// the previous boundary, since gauges sample before the hazard's own
+// hook runs). Call before ReserveWindows.
+func (r *Recorder) EnableDegradationSeries(level func() int, hazardRate func() float64) {
+	r.levelGauge = level
+	r.hazardGauge = hazardRate
+	if r.series.Degraded == nil {
+		r.series.Degraded = r.newSeries(SeriesNames[17], "requests/window")
+		r.series.BrownoutLevel = r.newSeries(SeriesNames[18], "level")
+		r.series.HazardRate = r.newSeries(SeriesNames[19], "crashes/window")
+	}
+}
+
 // NoteTimeout tallies one timed-out request in the current window.
 func (r *Recorder) NoteTimeout() { r.winTimeouts++ }
 
@@ -223,6 +258,10 @@ func (r *Recorder) NoteShed() { r.winSheds++ }
 
 // NoteFailure tallies one errored request in the current window.
 func (r *Recorder) NoteFailure() { r.winFails++ }
+
+// NoteDegraded tallies one degraded-answered request in the current
+// window.
+func (r *Recorder) NoteDegraded() { r.winDegraded++ }
 
 // Record adds one response-time observation in seconds, attributed to
 // its interaction class (isWrite selects read-write). Allocation-free
@@ -322,6 +361,22 @@ func (r *Recorder) Rotate(inflight int) {
 		}
 		r.series.Availability.Append(avail)
 		r.winTimeouts, r.winSheds, r.winFails = 0, 0, 0
+	}
+	if r.series.Degraded != nil {
+		// Degraded answers are deliberate fast responses, so they count
+		// in their own series, not against availability.
+		r.series.Degraded.Append(float64(r.winDegraded))
+		lvl := 0
+		if r.levelGauge != nil {
+			lvl = r.levelGauge()
+		}
+		r.series.BrownoutLevel.Append(float64(lvl))
+		hz := 0.0
+		if r.hazardGauge != nil {
+			hz = r.hazardGauge()
+		}
+		r.series.HazardRate.Append(hz)
+		r.winDegraded = 0
 	}
 	w.Reset()
 	r.winClass[0].Reset()

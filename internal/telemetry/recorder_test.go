@@ -66,9 +66,10 @@ func TestRecorderWindowSeries(t *testing.T) {
 		sr := s.All()[i]
 		if sr == nil {
 			switch SeriesNames[i] {
-			case "replicas", "timeouts", "sheds", "failures", "retries", "availability":
-				// Conditionally materialized (replica gauge / fault
-				// telemetry); absent by default.
+			case "replicas", "timeouts", "sheds", "failures", "retries", "availability",
+				"degraded", "brownout_level", "hazard_rate":
+				// Conditionally materialized (replica gauge / fault /
+				// degradation telemetry); absent by default.
 			default:
 				t.Errorf("series %q absent by default", SeriesNames[i])
 			}

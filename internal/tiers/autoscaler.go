@@ -80,6 +80,13 @@ func (a *Autoscaler) OnSample(now sim.Time) {
 		return
 	}
 	if a.hot >= a.spec.ScaleUpWindows {
+		// Double-provision guard: while a replica is still booting the
+		// hot signal is already being acted on — hold the streak and
+		// re-decide once it lands, instead of booting a second replica
+		// for the same overload.
+		if a.c.Booting() > 0 {
+			return
+		}
 		if a.c.ScaleUp(a.boot, "p95 over SLO") {
 			a.lastOp, a.opped = now, true
 		}

@@ -121,10 +121,25 @@ type Route struct {
 	// abnormally (timeout, shed, error); the zero value is
 	// OutcomeServed, and the healthy path never writes it.
 	Outcome Outcome
+	// gen counts reuses of this route: the guard bumps it when a try
+	// times out and the session moves on, and Reset bumps it for slot
+	// reuse. A server-side request admitted under an older generation
+	// is a straggler and must stop touching the route (see
+	// webRequest.rtGen).
+	gen uint32
 }
 
 // Reset clears the routing state for session reuse.
-func (r *Route) Reset() { r.wrote = false; r.lastWriteAt = 0; r.Outcome = OutcomeServed }
+func (r *Route) Reset() { r.wrote = false; r.lastWriteAt = 0; r.Outcome = OutcomeServed; r.gen++ }
+
+// generation reports the route's reuse generation; nil-safe so request
+// paths without routing state (rt == nil) snapshot a stable zero.
+func (r *Route) generation() uint32 {
+	if r == nil {
+		return 0
+	}
+	return r.gen
+}
 
 // DBCluster is the database tier: a primary that takes every write and
 // checkpoint, plus optional read replicas that share the read fan-out.
@@ -347,6 +362,14 @@ type WebCluster struct {
 	peakActive  int
 	minActive   int
 
+	// ovl is the brownout controller's LB-side consult: while degraded,
+	// dispatches onto over-bound queues fast-fail instead of piling in.
+	// nil on undegraded clusters (the default path is untouched).
+	ovl *Overload
+	// backfillBoot is the provisioning delay used when an ejection
+	// would starve minActive and a parked replica is booted to cover.
+	backfillBoot sim.Time
+
 	// acts backs closure-free delayed activations (one slot per replica).
 	acts []activation
 
@@ -418,6 +441,26 @@ func (c *WebCluster) PeakActive() int { return c.peakActive }
 // State reports replica i's lifecycle state.
 func (c *WebCluster) State(i int) ReplicaState { return c.state[i] }
 
+// Booting reports how many replicas are mid-provisioning (the
+// autoscaler's double-provision guard).
+func (c *WebCluster) Booting() int {
+	n := 0
+	for _, st := range c.state {
+		if st == ReplicaBooting {
+			n++
+		}
+	}
+	return n
+}
+
+// SetOverload wires the brownout controller consulted on dispatch;
+// nil leaves the path untouched.
+func (c *WebCluster) SetOverload(o *Overload) { c.ovl = o }
+
+// SetBackfillBoot sets the provisioning delay for emergency backfill
+// activations (ejection below minActive). Zero activates instantly.
+func (c *WebCluster) SetBackfillBoot(boot sim.Time) { c.backfillBoot = boot }
+
 // Served sums completed requests across replicas.
 func (c *WebCluster) Served() uint64 {
 	var n uint64
@@ -442,6 +485,19 @@ func (c *WebCluster) Dispatch(res *rubis.Result, rt *Route, done sim.Callback, a
 		dp.darg = arg
 		dp.free = &c.dispFree
 		c.k.AfterCall(errorRespLatency, dispatchFailed, dp)
+		return
+	}
+	if c.ovl != nil && c.ovl.boundExceeded(i) {
+		// Degraded and the chosen queue is over bound: fail fast as
+		// degraded rather than feeding metastable queue growth.
+		dp := c.dispFree.Get()
+		dp.r = nil
+		dp.res = res
+		dp.rt = rt
+		dp.done = done
+		dp.darg = arg
+		dp.free = &c.dispFree
+		c.k.AfterCall(shedRespLatency, dispatchDegraded, dp)
 		return
 	}
 	r := c.Replicas[i]
@@ -475,6 +531,22 @@ func dispatchFailed(arg any) {
 	dp.free.Put(dp)
 	if rt != nil {
 		rt.Outcome = OutcomeFailed
+	}
+	if done != nil {
+		done(darg)
+	}
+}
+
+// dispatchDegraded delivers the brownout controller's over-bound
+// fast-fail response.
+func dispatchDegraded(arg any) {
+	dp := arg.(*dispatch)
+	rt, done, darg := dp.rt, dp.done, dp.darg
+	dp.res = nil
+	dp.rt = nil
+	dp.free.Put(dp)
+	if rt != nil {
+		rt.Outcome = OutcomeDegraded
 	}
 	if done != nil {
 		done(darg)
@@ -546,9 +618,11 @@ func (c *WebCluster) ScaleDown(reason string) bool {
 }
 
 // Eject removes a crashed replica from the balancer rotation (health
-// check failure). Unlike ScaleDown, ejection may drop the active count
-// to zero — the cluster then fast-fails dispatches until a replica
-// recovers or boots.
+// check failure). When the ejection would starve minActive and parked
+// headroom exists, a parked replica is booted to cover (emergency
+// backfill); with no headroom the active count may still drop to zero
+// and the cluster fast-fails dispatches until a replica recovers or
+// boots.
 func (c *WebCluster) Eject(i int, reason string) {
 	if c.state[i] != ReplicaActive {
 		return
@@ -556,6 +630,9 @@ func (c *WebCluster) Eject(i int, reason string) {
 	c.state[i] = ReplicaDown
 	c.activeCount--
 	c.note(c.k.Now(), i, "eject", reason)
+	if c.activeCount+c.Booting() < c.minActive {
+		c.ScaleUp(c.backfillBoot, "eject backfill")
+	}
 }
 
 // Readmit returns a recovered replica to the balancer rotation.

@@ -22,6 +22,10 @@ const (
 	// OutcomeFailed: a replica or DB instance was down and the error
 	// response reached the client.
 	OutcomeFailed
+	// OutcomeDegraded: the overload controller dropped the request as
+	// optional work (brownout) or fast-failed it off an over-bound
+	// queue — degraded service, deliberately.
+	OutcomeDegraded
 )
 
 func (o Outcome) String() string {
@@ -32,6 +36,8 @@ func (o Outcome) String() string {
 		return "timed-out"
 	case OutcomeShed:
 		return "shed"
+	case OutcomeDegraded:
+		return "degraded"
 	default:
 		return "failed"
 	}
@@ -73,6 +79,7 @@ type Guard struct {
 	budget     float64
 	jitter     *rng.Stream
 	brk        *breaker
+	ovl        *Overload
 
 	attFree sim.FreeList[attempt]
 	tryFree sim.FreeList[tryCtx]
@@ -134,8 +141,23 @@ func NewGuard(k *sim.Kernel, next Frontend, spec faults.ResilienceSpec, jitter *
 // retry source).
 func (g *Guard) RetryCount() uint64 { return g.Stats.Retries }
 
+// SetOverload wires the brownout controller the guard consults at
+// admission; nil leaves the path untouched.
+func (g *Guard) SetOverload(o *Overload) { g.ovl = o }
+
 // Dispatch implements Frontend.
 func (g *Guard) Dispatch(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
+	if g.ovl != nil && g.ovl.admitDrop(res) {
+		// Brownout: the request is optional read work at the current
+		// degradation level; answer degraded-fast instead of queueing.
+		a := g.attFree.Get()
+		a.g = g
+		a.rt = rt
+		a.done = done
+		a.darg = arg
+		g.k.AfterCall(shedRespLatency, guardDegradeFire, a)
+		return
+	}
 	if g.brk != nil && g.k.Now() < g.brk.openUntil {
 		// Breaker open: shed fast-fail without touching the cluster.
 		g.Stats.Sheds++
@@ -166,6 +188,16 @@ func guardShedFire(arg any) {
 	a := arg.(*attempt)
 	if a.rt != nil {
 		a.rt.Outcome = OutcomeShed
+	}
+	a.g.finishNoObserve(a)
+}
+
+// guardDegradeFire delivers the brownout controller's degraded
+// response.
+func guardDegradeFire(arg any) {
+	a := arg.(*attempt)
+	if a.rt != nil {
+		a.rt.Outcome = OutcomeDegraded
 	}
 	a.g.finishNoObserve(a)
 }
@@ -222,6 +254,12 @@ func guardTryTimeout(arg any) {
 	t.hasTimer = false
 	a := t.a
 	a.cur = nil
+	if a.rt != nil {
+		// The session is moving on (retry or timeout response) while
+		// the abandoned try may still be running server-side: bump the
+		// route's generation so the straggler stops writing into it.
+		a.rt.gen++
+	}
 	g.Stats.Timeouts++
 	if g.brk != nil {
 		g.noteBreaker(true)

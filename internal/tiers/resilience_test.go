@@ -354,8 +354,8 @@ func TestRequestAccountingInvariant(t *testing.T) {
 	k.Run(60 * sim.Second)
 	fe.Replicas[0].restore()
 	k.Run(90 * sim.Second)
-	issued, served, timedOut, shed, failed := drv.RequestTotals()
-	sum := served + timedOut + shed + failed
+	issued, served, timedOut, shed, failed, degraded := drv.RequestTotals()
+	sum := served + timedOut + shed + failed + degraded
 	if sum > issued {
 		t.Fatalf("outcomes (%d) exceed issued (%d)", sum, issued)
 	}

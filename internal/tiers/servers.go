@@ -116,6 +116,18 @@ type webRequest struct {
 	darg any
 	qi   int // index of the next DB query to issue
 	dbi  int // DB instance the current query routed to
+	// snap is the replica's own copy of the caller's cost breakdown,
+	// taken at admission. A guard timeout detaches the caller while
+	// this request is still mid-chain, and the caller's session then
+	// reuses its Result buffer for the next interaction — so the
+	// replica must never read through the caller's pointer after
+	// admission. snap.Queries keeps its capacity across recycles.
+	snap rubis.Result
+	// rtGen snapshots the route's reuse generation at admission; a
+	// mismatch means the session moved on (guard timeout), so this
+	// request must neither stamp the route's outcome nor record
+	// read-your-writes state into it.
+	rtGen uint32
 	// epoch snapshots the server's crash epoch at admission; a
 	// mismatch at any stage means the server crashed underneath the
 	// request.
@@ -175,7 +187,8 @@ func (w *WebAppServer) QueueDepth() int { return w.active + len(w.queue) }
 // HandleRequest processes one parsed interaction; done(arg) fires when
 // the response has been transmitted to the client. rt is the session's
 // routing state (nil disables read-your-writes stickiness). The res
-// cost breakdown must stay untouched by the caller until then.
+// cost breakdown is snapshotted at admission, so the caller may reuse
+// it as soon as HandleRequest returns.
 func (w *WebAppServer) HandleRequest(res *rubis.Result, rt *Route, done sim.Callback, arg any) {
 	if w.down {
 		// Crashed replica: connection refused after a fast turnaround.
@@ -183,6 +196,7 @@ func (w *WebAppServer) HandleRequest(res *rubis.Result, rt *Route, done sim.Call
 		req.w = w
 		req.res = res
 		req.rt = rt
+		req.rtGen = rt.generation()
 		req.done = done
 		req.darg = arg
 		req.failed = true
@@ -201,8 +215,16 @@ func (w *WebAppServer) HandleRequest(res *rubis.Result, rt *Route, done sim.Call
 	}
 	req := w.reqFree.Get()
 	req.w = w
-	req.res = res
+	// Work from the replica's own snapshot of the cost breakdown: the
+	// caller's buffer belongs to its session again the moment a guard
+	// timeout detaches it, possibly while this request is still queued
+	// or mid-query-chain.
+	qbuf := req.snap.Queries[:0]
+	req.snap = *res
+	req.snap.Queries = append(qbuf, res.Queries...)
+	req.res = &req.snap
 	req.rt = rt
+	req.rtGen = rt.generation()
 	req.done = done
 	req.darg = arg
 	req.qi = 0
@@ -249,7 +271,14 @@ func (w *WebAppServer) stepQuery(req *webRequest) {
 		return
 	}
 	q := &req.res.Queries[req.qi]
-	req.dbi = w.db.route(q.Receipt.Work.RowsWritten > 0, w.k.Now(), req.rt)
+	rt := req.rt
+	if rt.generation() != req.rtGen {
+		// The session timed out and moved on: route without stickiness
+		// so this straggler neither reads nor records the live
+		// interaction's read-your-writes state.
+		rt = nil
+	}
+	req.dbi = w.db.route(q.Receipt.Work.RowsWritten > 0, w.k.Now(), rt)
 	srv := w.db.server(req.dbi)
 	if srv.down {
 		// The routed instance is dead (primary crashed, no failover
@@ -327,7 +356,10 @@ func webRespDone(arg any) {
 	req := arg.(*webRequest)
 	w := req.w
 	if req.failed {
-		if req.rt != nil {
+		// Stamp the outcome only while the route is still on this
+		// interaction; after a guard timeout the session has moved on
+		// and the stamp would misclassify its next request.
+		if req.rt != nil && req.rt.generation() == req.rtGen {
 			req.rt.Outcome = OutcomeFailed
 		}
 	} else {
@@ -339,7 +371,12 @@ func webRespDone(arg any) {
 		w.inflight--
 	}
 	done, darg := req.done, req.darg
-	w.reqFree.Put(req)
+	// Park the slot by hand instead of FreeList.Put so the snapshot's
+	// query buffer keeps its capacity across recycles.
+	qbuf := req.snap.Queries[:0]
+	*req = webRequest{}
+	req.snap.Queries = qbuf
+	w.reqFree.PutReset(req)
 	if done != nil {
 		done(darg)
 	}

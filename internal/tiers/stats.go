@@ -45,10 +45,15 @@ type LoadGen interface {
 	// availability series (fault-injection runs; retries supplies the
 	// guard's cumulative retry count, nil for a constant zero).
 	EnableFaultTelemetry(retries func() uint64)
+	// EnableDegradationTelemetry materializes the degraded/brownout-
+	// level/hazard-rate series (hazard or brownout runs; nil gauges
+	// sample as zero).
+	EnableDegradationTelemetry(level func() int, hazardRate func() float64)
 	// RequestTotals splits issued requests by outcome. issued counts
 	// requests dispatched into the serving path; the remainder
-	// (issued - served - timedOut - shed - failed) is still in flight.
-	RequestTotals() (issued, served, timedOut, shed, failed uint64)
+	// (issued - served - timedOut - shed - failed - degraded) is still
+	// in flight.
+	RequestTotals() (issued, served, timedOut, shed, failed, degraded uint64)
 }
 
 // driverStats is the outcome accounting shared by the closed-loop and
@@ -64,12 +69,14 @@ type driverStats struct {
 	Errors    uint64
 
 	// Issued counts requests dispatched into the serving path;
-	// TimedOut/Shed/Failed split the abnormal outcomes (Completed
-	// covers the served remainder). All zero on fault-free runs.
+	// TimedOut/Shed/Failed/Degraded split the abnormal outcomes
+	// (Completed covers the served remainder). All zero on fault-free
+	// runs.
 	Issued   uint64
 	TimedOut uint64
 	Shed     uint64
 	Failed   uint64
+	Degraded uint64
 
 	rec      *telemetry.Recorder
 	inflight int
@@ -116,6 +123,9 @@ func (s *driverStats) observeFault(o Outcome) {
 	case OutcomeShed:
 		s.Shed++
 		s.rec.NoteShed()
+	case OutcomeDegraded:
+		s.Degraded++
+		s.rec.NoteDegraded()
 	default:
 		s.Failed++
 		s.rec.NoteFailure()
@@ -127,9 +137,14 @@ func (s *driverStats) EnableFaultTelemetry(retries func() uint64) {
 	s.rec.EnableFaultSeries(retries)
 }
 
+// EnableDegradationTelemetry implements LoadGen.
+func (s *driverStats) EnableDegradationTelemetry(level func() int, hazardRate func() float64) {
+	s.rec.EnableDegradationSeries(level, hazardRate)
+}
+
 // RequestTotals implements LoadGen.
-func (s *driverStats) RequestTotals() (issued, served, timedOut, shed, failed uint64) {
-	return s.Issued, s.Completed, s.TimedOut, s.Shed, s.Failed
+func (s *driverStats) RequestTotals() (issued, served, timedOut, shed, failed, degraded uint64) {
+	return s.Issued, s.Completed, s.TimedOut, s.Shed, s.Failed, s.Degraded
 }
 
 // noteInteraction tallies one successfully executed interaction.

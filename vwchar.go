@@ -373,6 +373,51 @@ type (
 	AvailabilityAnalysis = characterize.AvailabilityAnalysis
 )
 
+// Correlated failures couple component losses in space and time:
+// shared-fate groups fall together, fault storms modulate the crash
+// rate with an intensity profile, conditional triggers shrink a
+// component's MTTF while another is down, and the load-coupled hazard
+// turns sustained overload into crash risk in-run. The overload
+// controller (brownout) sheds optional read work first so degraded
+// answers replace cascading losses. All of it is off by default and
+// expanded deterministically from the seed.
+type (
+	// FaultCorrelation couples component failures: shared-fate
+	// groups, storms, and conditional triggers.
+	FaultCorrelation = faults.Correlation
+	// SharedFateGroup fells a named set of machines together.
+	SharedFateGroup = faults.SharedFateGroup
+	// FaultStorm is a modulated cluster crash process.
+	FaultStorm = faults.Storm
+	// FaultTrigger shrinks a target's MTTF while a condition is down.
+	FaultTrigger = faults.Trigger
+	// HazardSpec arms the load-coupled in-run crash hazard.
+	HazardSpec = faults.HazardSpec
+	// BrownoutSpec arms the overload-adaptive degradation controller.
+	BrownoutSpec = faults.BrownoutSpec
+	// HazardCrash records one load-coupled crash.
+	HazardCrash = tiers.HazardCrash
+	// HazardStats is the hazard's per-run accounting.
+	HazardStats = tiers.HazardStats
+	// BrownoutStats is the overload controller's per-run accounting.
+	BrownoutStats = tiers.BrownoutStats
+	// CascadeAnalysis is the correlated-failure view of a run.
+	CascadeAnalysis = characterize.CascadeAnalysis
+)
+
+// Storm intensity profiles.
+const (
+	StormProfileFlat    = faults.ProfileFlat
+	StormProfileDiurnal = faults.ProfileDiurnal
+)
+
+// AnalyzeCascade computes the correlated-failure analysis of a run
+// against an SLO in milliseconds: blast radius, cascade depth, crash
+// attribution by origin, time-to-stabilize, and brownout accounting.
+func AnalyzeCascade(r *Result, sloMillis float64) CascadeAnalysis {
+	return characterize.AnalyzeCascade(r, sloMillis)
+}
+
 // ChaosScenarios returns the built-in chaos scenario catalog by name.
 func ChaosScenarios() map[string]ChaosScenario { return faults.Scenarios() }
 
@@ -402,6 +447,15 @@ const (
 	MetricRetries      = runner.MetricRetries
 	MetricAvailability = runner.MetricAvailability
 	MetricFailovers    = runner.MetricFailovers
+)
+
+// Correlated-failure metrics reported by sweep points whose runs
+// carried a crash hazard or overload controller.
+const (
+	MetricDegraded        = runner.MetricDegraded
+	MetricHazardCrashes   = runner.MetricHazardCrashes
+	MetricBrownoutPeak    = runner.MetricBrownoutPeak
+	MetricBrownoutDropped = runner.MetricBrownoutDropped
 )
 
 // BuildSaturationFigure assembles the Figure 9-style panel from one
