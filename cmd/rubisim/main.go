@@ -49,6 +49,12 @@ func main() {
 	hazardUtil := flag.Float64("hazard-util", 0, "arm the load-coupled crash hazard at this per-replica utilization (queue depth / workers)")
 	hazardProb := flag.Float64("hazard-prob", 0.05, "per-window crash probability once a replica is over -hazard-util")
 	brownoutUtil := flag.Float64("brownout-util", 0, "arm the overload controller: mean web utilization that starts browning out optional reads")
+	cacheOn := flag.Bool("cache", false, "deploy the memcache-like cache tier (virtualized only)")
+	cacheMB := flag.Float64("cache-mb", 0, "cache capacity in MB (0: default 64)")
+	cacheTTL := flag.Float64("cache-ttl", 0, "cache entry TTL in seconds (0: default 60)")
+	cacheLeases := flag.Bool("cache-leases", false, "protect hot-key expiries with single-flight leases")
+	queueOn := flag.Bool("queue", false, "deploy the write-behind queue tier (virtualized only)")
+	queueDepth := flag.Int("queue-depth", 0, "queue backlog bound in writes (0: default 4096)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*env, *mix, *clients, *duration, *seed, *loadName, *rate, *trace)
@@ -57,6 +63,9 @@ func main() {
 	}
 	if err == nil {
 		err = applyFaults(&cfg, *faultsName, *mttf, *mttr, *slowFactor, *duration, *hazardUtil, *hazardProb, *brownoutUtil)
+	}
+	if err == nil {
+		err = applyCacheQueue(&cfg, *cacheOn, *cacheMB, *cacheTTL, *cacheLeases, *queueOn, *queueDepth)
 	}
 	if err == nil {
 		err = run(cfg, *csv, *sloMillis, os.Stdout)
@@ -220,6 +229,40 @@ func applyFaults(cfg *vwchar.Config, name string, mttf, mttr, slowFactor, durati
 	return cfg.Validate()
 }
 
+// applyCacheQueue attaches the cache and write-behind queue tiers when
+// their flags were set; with all flags at their zero values the config
+// keeps the paper's direct-to-DB path.
+func applyCacheQueue(cfg *vwchar.Config, cacheOn bool, mb, ttl float64, leases, queueOn bool, depth int) error {
+	if !cacheOn && (mb > 0 || ttl > 0 || leases) {
+		return fmt.Errorf("-cache-mb/-cache-ttl/-cache-leases need -cache")
+	}
+	if !queueOn && depth > 0 {
+		return fmt.Errorf("-queue-depth needs -queue")
+	}
+	if cacheOn {
+		spec := vwchar.DefaultCacheSpec()
+		if mb > 0 {
+			spec.MaxMB = mb
+		}
+		if ttl > 0 {
+			spec.TTLSeconds = ttl
+		}
+		spec.Leases = leases
+		cfg.Cache = &spec
+	}
+	if queueOn {
+		spec := vwchar.DefaultQueueSpec()
+		if depth > 0 {
+			spec.MaxDepth = depth
+		}
+		cfg.Queue = &spec
+	}
+	if cacheOn || queueOn {
+		return cfg.Validate()
+	}
+	return nil
+}
+
 func run(cfg vwchar.Config, csv bool, sloMillis float64, w io.Writer) error {
 	res, err := vwchar.Run(cfg)
 	if err != nil {
@@ -260,6 +303,11 @@ func run(cfg vwchar.Config, csv bool, sloMillis float64, w io.Writer) error {
 			return err
 		}
 	}
+	if res.Cache != nil || res.Queue != nil {
+		if err := vwchar.AnalyzeCache(res).Write(w); err != nil {
+			return err
+		}
+	}
 	if tel := res.Telemetry; tel != nil && tel.Windows() > 0 {
 		// Minimum over busy windows only: idle windows record p95=0,
 		// which is an artifact, not a latency floor.
@@ -283,6 +331,12 @@ func run(cfg vwchar.Config, csv bool, sloMillis float64, w io.Writer) error {
 	tiers := []string{vwchar.TierWeb, vwchar.TierDB}
 	if cfg.Environment == vwchar.Virtualized {
 		tiers = append(tiers, vwchar.TierDom0)
+	}
+	if res.Cache != nil {
+		tiers = append(tiers, vwchar.TierCache)
+	}
+	if res.Queue != nil {
+		tiers = append(tiers, vwchar.TierQueue)
 	}
 	for _, tier := range tiers {
 		cpu, mem := res.CPU(tier), res.Mem(tier)

@@ -1,0 +1,90 @@
+package characterize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vwchar/internal/cachetier"
+	"vwchar/internal/experiment"
+	"vwchar/internal/sim"
+)
+
+func cacheRun(t *testing.T) *experiment.Result {
+	t.Helper()
+	cfg := experiment.DefaultConfig(experiment.Virtualized, experiment.MixBidding)
+	cfg.Clients = 250
+	cfg.Duration = 120 * sim.Second
+	cfg.Seed = 42
+	cache := cachetier.DefaultCacheSpec()
+	cache.TTLSeconds = 10 // short TTL: expiries and re-fetches inside the run
+	cfg.Cache = &cache
+	queue := cachetier.DefaultQueueSpec()
+	cfg.Queue = &queue
+	r, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestAnalyzeCacheEndToEnd pins the analysis on a live cache+queue run:
+// the hit ratio matches the raw counters, convergence is detected with
+// a plausible warmup, and the queue half reports the broker's ledger.
+func TestAnalyzeCacheEndToEnd(t *testing.T) {
+	r := cacheRun(t)
+	a := AnalyzeCache(r)
+	if a.Hits != r.Cache.Hits || a.Misses != r.Cache.Misses {
+		t.Fatalf("analysis counters %d/%d != result %d/%d", a.Hits, a.Misses, r.Cache.Hits, r.Cache.Misses)
+	}
+	if want := r.Cache.HitRatio(); a.HitRatio != want {
+		t.Fatalf("hit ratio %v != %v", a.HitRatio, want)
+	}
+	if a.HitRatio <= 0 || a.HitRatio >= 1 {
+		t.Fatalf("hit ratio %v vacuous for a short-TTL run", a.HitRatio)
+	}
+	if !a.Converged {
+		t.Fatal("2-minute steady run should converge to its run-level hit ratio")
+	}
+	if a.WarmupSec < 0 || a.WarmupSec > 120 {
+		t.Fatalf("warmup %v s outside the run", a.WarmupSec)
+	}
+	if a.DBLoadSpikeFactor < 1 {
+		t.Fatalf("DB load spike factor %v below its floor", a.DBLoadSpikeFactor)
+	}
+	if a.Published != r.Queue.Published || a.Drained != r.Queue.Drained {
+		t.Fatalf("queue ledger mismatch: %+v vs %+v", a, r.Queue)
+	}
+	if a.Published == 0 {
+		t.Fatal("bidding run published nothing")
+	}
+
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hit ratio", "queue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzeCacheWithoutTiers pins the degenerate form: a run with no
+// cache or queue yields the neutral analysis (no spike, drained by
+// construction) and a report that renders nothing misleading.
+func TestAnalyzeCacheWithoutTiers(t *testing.T) {
+	vb, _, _, _ := results(t)
+	a := AnalyzeCache(vb)
+	if a.Hits != 0 || a.Misses != 0 || a.Published != 0 {
+		t.Fatalf("tier-less run produced tier counters: %+v", a)
+	}
+	if !a.DrainedByEnd || a.DBLoadSpikeFactor != 1 {
+		t.Fatalf("neutral defaults wrong: %+v", a)
+	}
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"vwchar/internal/cachetier"
 	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
 	"vwchar/internal/sysstat"
@@ -11,13 +12,19 @@ import (
 )
 
 // vmInstance is one assembled RUBiS instance on the virtualized
-// testbed: the web cluster, its DB tier, and the guest domains backing
-// them (for collector targets).
+// testbed: the web cluster, its DB tier, the optional cache and
+// write-behind queue nodes, and the guest domains backing them (for
+// collector targets).
 type vmInstance struct {
 	cluster *tiers.WebCluster
 	dbc     *tiers.DBCluster
 	webDoms []*xen.Domain
 	dbDoms  []*xen.Domain // primary first, then read replicas
+
+	cacheSrv *tiers.CacheServer
+	cacheDom *xen.Domain
+	queueSrv *tiers.QueueServer
+	queueDom *xen.Domain
 }
 
 // buildVMInstance assembles one RUBiS instance for the (normalized)
@@ -31,7 +38,7 @@ type vmInstance struct {
 // then DB servers before web servers — exactly the pre-topology
 // sequence when the topology is degenerate, so the golden sweep hash
 // pins this path.
-func buildVMInstance(k *sim.Kernel, hvs []*xen.Hypervisor, topo tiers.Topology, pair int, app *rubis.App) *vmInstance {
+func buildVMInstance(k *sim.Kernel, hvs []*xen.Hypervisor, topo tiers.Topology, pair int, app *rubis.App, cache *cachetier.CacheSpec, queue *cachetier.QueueSpec) *vmInstance {
 	inst := &vmInstance{}
 	hvFor := func(vm int) *xen.Hypervisor { return hvs[topo.MachineFor(vm)] }
 
@@ -92,6 +99,75 @@ func buildVMInstance(k *sim.Kernel, hvs []*xen.Hypervisor, topo tiers.Topology, 
 		webs = append(webs, tiers.NewWebAppServer(k, be, inst.dbc, paths, tiers.DefaultWebParams("vm")))
 	}
 	inst.cluster = tiers.NewWebCluster(k, webs, topo.WebReplicas, tiers.NewLoadBalancer(topo.LB))
+	if cache == nil && queue == nil {
+		// The golden path: nothing below runs, no extra guests, no extra
+		// events — byte identity with the pre-cache assembly.
+		return inst
+	}
+
+	// Aux tiers append strictly after the classic guests so the
+	// construction prefix (and with nil specs, the whole assembly) stays
+	// on the golden sequence. Without an explicit placement the aux VMs
+	// round-robin onto the machines after the classic ones; an explicit
+	// placement vector does not cover them, so they co-locate with the
+	// DB primary (the tier they shield).
+	auxMachine := func(i int) int {
+		if len(topo.Placement) > 0 {
+			return topo.MachineFor(primaryVM)
+		}
+		return (topo.VMCount() + i) % topo.Machines
+	}
+	webPath := func(i int, m int, dom *xen.Domain) tiers.PathPair {
+		if topo.MachineFor(i) == m {
+			return tiers.PathPair{
+				To:   tiers.VMPath(hvs[m], inst.webDoms[i], dom),
+				From: tiers.VMPath(hvs[m], dom, inst.webDoms[i]),
+			}
+		}
+		return tiers.PathPair{
+			To:   tiers.CrossVMPath(k, hvFor(i), inst.webDoms[i], hvs[m], dom),
+			From: tiers.CrossVMPath(k, hvs[m], dom, hvFor(i), inst.webDoms[i]),
+		}
+	}
+
+	if cache != nil {
+		m := auxMachine(0)
+		dom := hvs[m].CreateGuest(fmt.Sprintf("memcache-vm-%d", pair), 2, 2<<30, 256)
+		dom.Mem.Set("kernel", 30e6)
+		be := &tiers.VMBackend{HV: hvs[m], Dom: dom, Peer: inst.webDoms[0]}
+		inst.cacheSrv = tiers.NewCacheServer(k, be, *cache, tiers.DefaultCacheParams())
+		inst.cacheDom = dom
+		for i, w := range webs {
+			w.SetCacheTier(inst.cacheSrv, webPath(i, m, dom))
+		}
+	}
+	if queue != nil {
+		m := auxMachine(1)
+		dom := hvs[m].CreateGuest(fmt.Sprintf("wqueue-vm-%d", pair), 2, 2<<30, 256)
+		dom.Mem.Set("kernel", 30e6)
+		be := &tiers.VMBackend{HV: hvs[m], Dom: dom, Peer: inst.dbDoms[0]}
+		qPaths := make([]tiers.PathPair, inst.dbc.Instances())
+		for j := range qPaths {
+			dbVM := primaryVM + j
+			dbDom := inst.dbDoms[j]
+			if topo.MachineFor(dbVM) == m {
+				qPaths[j] = tiers.PathPair{
+					To:   tiers.VMPath(hvs[m], dom, dbDom),
+					From: tiers.VMPath(hvs[m], dbDom, dom),
+				}
+			} else {
+				qPaths[j] = tiers.PathPair{
+					To:   tiers.CrossVMPath(k, hvs[m], dom, hvFor(dbVM), dbDom),
+					From: tiers.CrossVMPath(k, hvFor(dbVM), dbDom, hvs[m], dom),
+				}
+			}
+		}
+		inst.queueSrv = tiers.NewQueueServer(k, be, inst.dbc, qPaths, *queue, tiers.DefaultQueueParams())
+		inst.queueDom = dom
+		for i, w := range webs {
+			w.SetQueueTier(inst.queueSrv, webPath(i, m, dom))
+		}
+	}
 	return inst
 }
 
@@ -121,6 +197,13 @@ func clusterTargets(k *sim.Kernel, hvs []*xen.Hypervisor, inst *vmInstance) []sy
 		sysstat.Target{Name: TierWeb, Snap: vmAggSnapshot(k, inst.webDoms)},
 		sysstat.Target{Name: TierDB, Snap: vmAggSnapshot(k, inst.dbDoms)},
 	)
+	// Aux tiers last, so the classic target prefix is untouched.
+	if inst.cacheDom != nil {
+		ts = append(ts, sysstat.Target{Name: TierCache, Snap: vmSnapshot(k, inst.cacheDom)})
+	}
+	if inst.queueDom != nil {
+		ts = append(ts, sysstat.Target{Name: TierQueue, Snap: vmSnapshot(k, inst.queueDom)})
+	}
 	return ts
 }
 

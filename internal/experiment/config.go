@@ -87,6 +87,28 @@ func (c Config) Validate() error {
 			}
 		}
 	}
+	if c.Cache != nil {
+		if err := c.Cache.Validate(); err != nil {
+			return err
+		}
+		if c.Environment != Virtualized {
+			return fmt.Errorf("experiment: the cache tier requires the virtualized deployment")
+		}
+		if c.Pairs > 1 {
+			return fmt.Errorf("experiment: the cache tier is incompatible with consolidation pairs")
+		}
+	}
+	if c.Queue != nil {
+		if err := c.Queue.Validate(); err != nil {
+			return err
+		}
+		if c.Environment != Virtualized {
+			return fmt.Errorf("experiment: the queue tier requires the virtualized deployment")
+		}
+		if c.Pairs > 1 {
+			return fmt.Errorf("experiment: the queue tier is incompatible with consolidation pairs")
+		}
+	}
 	if err := c.Resilience.Validate(); err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 
+	"vwchar/internal/cachetier"
 	"vwchar/internal/faults"
 	"vwchar/internal/hw"
 	"vwchar/internal/load"
@@ -110,6 +111,17 @@ type Config struct {
 	// path untouched — faults without resilience show the unprotected
 	// baseline.
 	Resilience *faults.ResilienceSpec
+	// Cache, when non-nil, deploys a memcache-like cache VM: cacheable
+	// reads consult it first and fall through to the DB on a miss.
+	// Virtualized only; incompatible with Pairs > 1. Nil leaves the
+	// serving path byte-identical.
+	Cache *cachetier.CacheSpec
+	// Queue, when non-nil, deploys a write-behind queue VM: write
+	// interactions publish their query chains to the broker and complete
+	// on the ack, with a periodic batched drain replaying them to the DB
+	// primary. Virtualized only; incompatible with Pairs > 1. Nil leaves
+	// the serving path byte-identical.
+	Queue *cachetier.QueueSpec
 }
 
 // DefaultConfig returns the paper's experimental setup for env and mix.
@@ -126,9 +138,11 @@ func DefaultConfig(env Env, mix MixKind) Config {
 
 // Tier names used for collector targets and figure panels.
 const (
-	TierWeb  = "webapp"
-	TierDB   = "mysql"
-	TierDom0 = "dom0"
+	TierWeb   = "webapp"
+	TierDB    = "mysql"
+	TierDom0  = "dom0"
+	TierCache = "memcache"
+	TierQueue = "wqueue"
 )
 
 // PairStat is the per-instance outcome of a consolidated run.
@@ -247,6 +261,27 @@ type Result struct {
 	// Brownout is the overload controller's accounting; nil unless
 	// Resilience.Brownout was configured.
 	Brownout *tiers.BrownoutStats
+	// Cache snapshots the cache node's accounting; nil without a Cache
+	// spec.
+	Cache *tiers.CacheStats
+	// Queue snapshots the write-behind broker's accounting; nil without
+	// a Queue spec.
+	Queue *tiers.QueueStats
+	// PerInteraction breaks the primary driver's latency down by RUBiS
+	// interaction kind, with per-kind cache outcomes when a cache tier
+	// was deployed. Always populated, in rubis dense-index order.
+	PerInteraction []InteractionLatency
+}
+
+// InteractionLatency is one RUBiS interaction kind's run-level latency
+// and cache accounting.
+type InteractionLatency struct {
+	Kind        string  `json:"kind"`
+	Count       uint64  `json:"count"`
+	MeanMs      float64 `json:"mean_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
 }
 
 // CPU returns the per-2s cycle demand series for tier ("webapp",
@@ -329,7 +364,7 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiment: dataset %d: %w", p, err)
 			}
-			instP := buildVMInstance(k, hvs, topo, p, appP)
+			instP := buildVMInstance(k, hvs, topo, p, appP, cfg.Cache, cfg.Queue)
 			drv, err := newDriver(appP, instP.cluster, rng.NewSource(cfg.Seed+uint64(p)*7919))
 			if err != nil {
 				return nil, err
@@ -340,13 +375,21 @@ func Run(cfg Config) (*Result, error) {
 				app = appP
 				inst = instP
 				if topo.IsDegenerate() {
-					// The paper's exact target set — the golden sweep hash
-					// pins this path.
-					collector = sysstat.NewCollector(k, cfg.KeepFullCatalog,
-						sysstat.Target{Name: TierWeb, Snap: vmSnapshot(k, instP.webDoms[0])},
-						sysstat.Target{Name: TierDB, Snap: vmSnapshot(k, instP.dbDoms[0])},
-						sysstat.Target{Name: TierDom0, Snap: dom0Snapshot(k, hv)},
-					)
+					// The paper's exact target prefix — the golden sweep
+					// hash pins this path; aux-tier targets append after
+					// it only when their specs are set.
+					targets := []sysstat.Target{
+						{Name: TierWeb, Snap: vmSnapshot(k, instP.webDoms[0])},
+						{Name: TierDB, Snap: vmSnapshot(k, instP.dbDoms[0])},
+						{Name: TierDom0, Snap: dom0Snapshot(k, hv)},
+					}
+					if instP.cacheDom != nil {
+						targets = append(targets, sysstat.Target{Name: TierCache, Snap: vmSnapshot(k, instP.cacheDom)})
+					}
+					if instP.queueDom != nil {
+						targets = append(targets, sysstat.Target{Name: TierQueue, Snap: vmSnapshot(k, instP.queueDom)})
+					}
+					collector = sysstat.NewCollector(k, cfg.KeepFullCatalog, targets...)
 				} else {
 					collector = sysstat.NewCollector(k, cfg.KeepFullCatalog, clusterTargets(k, hvs, instP)...)
 				}
@@ -401,15 +444,27 @@ func Run(cfg Config) (*Result, error) {
 	faulty := cfg.Faults != nil || cfg.Resilience != nil
 	var monitor *tiers.HealthMonitor
 	if cfg.Faults != nil && inst != nil {
-		res.FaultTimeline = cfg.Faults.Expand(cfg.Duration, faults.Targets{
+		tg := faults.Targets{
 			Webs:     topo.MaxWebReplicas,
 			DBs:      1 + topo.DBReadReplicas,
 			Machines: topo.Machines,
-		}, src)
-		tiers.NewInjector(k, inst.cluster, inst.dbc, topo, res.FaultTimeline).Start()
+		}
+		if inst.cacheSrv != nil {
+			tg.Caches = 1
+		}
+		if inst.queueSrv != nil {
+			tg.Queues = 1
+		}
+		res.FaultTimeline = cfg.Faults.Expand(cfg.Duration, tg, src)
+		inj := tiers.NewInjector(k, inst.cluster, inst.dbc, topo, res.FaultTimeline)
+		inj.SetAuxTiers(inst.cacheSrv, inst.queueSrv)
+		inj.Start()
 	}
 	if cfg.Resilience != nil && inst != nil {
 		monitor = tiers.NewHealthMonitor(k, inst.cluster, inst.dbc, *cfg.Resilience)
+		if inst.queueSrv != nil {
+			monitor.SetQueue(inst.queueSrv)
+		}
 		monitor.Start()
 	}
 
@@ -455,6 +510,22 @@ func Run(cfg Config) (*Result, error) {
 			}
 			drv.EnableFaultTelemetry(retries)
 		}
+	}
+	if inst != nil && inst.cacheSrv != nil {
+		// Materialize the cache series before capacity is reserved. The
+		// driver differences the cumulative counters per window; store
+		// stats survive cold restarts, so the diff stays monotonic.
+		cs := inst.cacheSrv
+		drivers[0].EnableCacheTelemetry(func() (hits, misses, stampedes uint64) {
+			s := cs.Snapshot()
+			return s.Hits, s.Misses, s.Stampedes
+		})
+	}
+	if inst != nil && inst.queueSrv != nil {
+		// Materialize the queue depth/lag gauges before capacity is
+		// reserved.
+		qs := inst.queueSrv
+		drivers[0].EnableQueueTelemetry(qs.Depth, func() float64 { return qs.LagMs(k.Now()) })
 	}
 	if hazard != nil || overload != nil {
 		// Materialize the degradation series before capacity is
@@ -576,6 +647,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if monitor != nil {
 		res.Failovers = monitor.Failovers
+	}
+	if inst != nil && inst.cacheSrv != nil {
+		stats := inst.cacheSrv.Snapshot()
+		res.Cache = &stats
+	}
+	if inst != nil && inst.queueSrv != nil {
+		stats := inst.queueSrv.Snapshot()
+		res.Queue = &stats
+	}
+	for idx := 0; idx < rubis.NumInteractions; idx++ {
+		h := primary.KindHist(idx)
+		il := InteractionLatency{
+			Kind:   string(rubis.InteractionAt(idx)),
+			Count:  h.Count(),
+			MeanMs: h.Mean() * 1e3,
+			P95Ms:  h.Quantile(0.95) * 1e3,
+		}
+		if inst != nil && inst.cacheSrv != nil {
+			il.CacheHits, il.CacheMisses = inst.cacheSrv.KindCounts(uint8(idx))
+		}
+		res.PerInteraction = append(res.PerInteraction, il)
 	}
 	if hv != nil {
 		res.Attribution = hv.Attribution()

@@ -73,6 +73,12 @@ type Schedule struct {
 	// probability for overloaded web replicas, drawn in-run from a
 	// dedicated substream (it cannot be pre-expanded); nil disables.
 	Hazard *HazardSpec `json:"hazard,omitempty"`
+	// CacheCrash crashes and restarts the cache node (a restart is a
+	// cold cache); QueueCrash crashes and restarts the write-behind
+	// queue node (the journaled backlog survives, so recovery shows a
+	// lag spike). Both are single-instance tiers: target 0.
+	CacheCrash *Component `json:"cache_crash,omitempty"`
+	QueueCrash *Component `json:"queue_crash,omitempty"`
 }
 
 // Empty reports whether the schedule injects no faults at all.
@@ -80,6 +86,7 @@ func (s *Schedule) Empty() bool {
 	return s == nil || (s.WebCrash == nil && s.DBCrash == nil &&
 		s.MachineCrash == nil && s.SlowNode == nil &&
 		s.LagSpike == nil && s.PathDelay == nil &&
+		s.CacheCrash == nil && s.QueueCrash == nil &&
 		s.Correlation.Empty() && s.Hazard == nil)
 }
 
@@ -125,6 +132,8 @@ func (s *Schedule) Validate() error {
 		{s.SlowNode, "slow_node", true, 1},
 		{s.LagSpike, "lag_spike", true, 0},
 		{s.PathDelay, "path_delay", true, 0},
+		{s.CacheCrash, "cache_crash", false, 0},
+		{s.QueueCrash, "queue_crash", false, 0},
 	} {
 		if e.c == nil {
 			continue
@@ -156,6 +165,10 @@ const (
 	LagEnd
 	DelayStart
 	DelayEnd
+	CacheDown
+	CacheUp
+	QueueDown
+	QueueUp
 )
 
 var kindNames = [...]string{
@@ -165,6 +178,8 @@ var kindNames = [...]string{
 	SlowStart: "slow-start", SlowEnd: "slow-end",
 	LagStart: "lag-start", LagEnd: "lag-end",
 	DelayStart: "delay-start", DelayEnd: "delay-end",
+	CacheDown: "cache-down", CacheUp: "cache-up",
+	QueueDown: "queue-down", QueueUp: "queue-up",
 }
 
 func (k Kind) String() string {
@@ -192,6 +207,10 @@ type Targets struct {
 	Webs     int
 	DBs      int
 	Machines int
+	// Caches/Queues are 1 when the corresponding tier is deployed
+	// (single-instance tiers), 0 otherwise.
+	Caches int
+	Queues int
 }
 
 type expandSpec struct {
@@ -219,6 +238,8 @@ func (s *Schedule) Expand(duration sim.Time, tg Targets, src *rng.Source) []Even
 		{s.SlowNode, "slow_node", SlowStart, SlowEnd, tg.Machines, 0},
 		{s.LagSpike, "lag_spike", LagStart, LagEnd, 1, 0},
 		{s.PathDelay, "path_delay", DelayStart, DelayEnd, 1, 0},
+		{s.CacheCrash, "cache_crash", CacheDown, CacheUp, tg.Caches, 0},
+		{s.QueueCrash, "queue_crash", QueueDown, QueueUp, tg.Queues, 0},
 	} {
 		if sp.c == nil {
 			continue

@@ -68,6 +68,44 @@ var catalog = []NamedSpec{
 			RampSeconds:         30,
 		},
 	},
+	{
+		Name:    "cold-cache",
+		Summary: "steady load against an empty cache: warmup convergence",
+		Spec: Spec{
+			Kind:        Poisson,
+			Rate:        2.5,
+			SessionMean: 12,
+			RampSeconds: 10,
+		},
+	},
+	{
+		Name:    "hot-key-expiry",
+		Summary: "8x spike at t=120 s riding over TTL expiries: herd window",
+		Spec: Spec{
+			Kind:                Spike,
+			Rate:                3,
+			SpikeFactor:         8,
+			SpikeAt:             120,
+			SpikeRamp:           10,
+			SpikeHold:           120,
+			SessionMean:         12,
+			AbandonAfterSeconds: 5,
+			RampSeconds:         30,
+		},
+	},
+	{
+		Name:    "backlog-drain",
+		Summary: "10x write burst of ~45 s at t=200 s: queue absorb + drain",
+		Spec: Spec{
+			Kind:        Bursty,
+			Rate:        1.5,
+			BurstFactor: 10,
+			BaseDwell:   300,
+			BurstDwell:  45,
+			SessionMean: 10,
+			RampSeconds: 30,
+		},
+	},
 }
 
 // Scenarios returns the built-in scenario catalog in presentation

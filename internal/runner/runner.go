@@ -412,6 +412,19 @@ const (
 	MetricBrownoutDropped = "brownout_dropped"
 )
 
+// Cache and write-behind queue metrics, emitted only when the run
+// deployed the corresponding tier (Result.Cache / Result.Queue
+// non-nil), so runs without them keep their metric set byte-identical.
+const (
+	MetricCacheHitRatio  = "cache_hit_ratio"
+	MetricCacheStampedes = "cache_stampedes"
+	MetricCacheEvictions = "cache_evictions"
+	MetricQueuePublished = "queue_published"
+	MetricQueuePeakDepth = "queue_peak_depth"
+	MetricQueueMaxLag    = "queue_lag_max_ms"
+	MetricQueueOverflows = "queue_overflows"
+)
+
 // MetricCPU, MetricMem, MetricDisk and MetricNet name the per-tier
 // aggregates; use these instead of hand-concatenating metric names so a
 // typo is a compile-time symbol error, not a silent zero Metric.
@@ -483,6 +496,21 @@ func scalars(r *experiment.Result) []NamedMetric {
 		out = append(out,
 			NamedMetric{MetricBrownoutPeak, Metric{Mean: float64(r.Brownout.PeakLevel)}},
 			NamedMetric{MetricBrownoutDropped, Metric{Mean: float64(r.Brownout.Dropped)}},
+		)
+	}
+	if c := r.Cache; c != nil {
+		out = append(out,
+			NamedMetric{MetricCacheHitRatio, Metric{Mean: c.HitRatio()}},
+			NamedMetric{MetricCacheStampedes, Metric{Mean: float64(c.Stampedes)}},
+			NamedMetric{MetricCacheEvictions, Metric{Mean: float64(c.Evictions)}},
+		)
+	}
+	if q := r.Queue; q != nil {
+		out = append(out,
+			NamedMetric{MetricQueuePublished, Metric{Mean: float64(q.Published)}},
+			NamedMetric{MetricQueuePeakDepth, Metric{Mean: float64(q.PeakDepth)}},
+			NamedMetric{MetricQueueMaxLag, Metric{Mean: q.MaxLagMs}},
+			NamedMetric{MetricQueueOverflows, Metric{Mean: float64(q.Overflows)}},
 		)
 	}
 	// Resource scalars over the run's actual collector targets — the

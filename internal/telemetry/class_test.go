@@ -163,10 +163,10 @@ func TestReplicaGaugeSeries(t *testing.T) {
 	for _, sr := range r.Series().Present() {
 		names[sr.Name] = true
 	}
-	// The five fault series and three degradation series stay absent
-	// unless enabled; everything else is present once the gauge is
-	// wired.
-	if !names["replicas"] || len(names) != len(SeriesNames)-8 {
-		t.Fatalf("Present() with a gauge = %d series, want %d", len(names), len(SeriesNames)-8)
+	// The five fault series, three degradation series, two cache series
+	// and two queue series stay absent unless enabled; everything else
+	// is present once the gauge is wired.
+	if !names["replicas"] || len(names) != len(SeriesNames)-12 {
+		t.Fatalf("Present() with a gauge = %d series, want %d", len(names), len(SeriesNames)-12)
 	}
 }

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"vwchar/internal/rng"
+)
+
+// TestRecorderKindAttribution pins the per-interaction histogram bank:
+// observations route to their dense kind index, out-of-range kinds
+// (including the classic -1 "no attribution") only feed the combined
+// histograms, and the bank never double-counts the run total.
+func TestRecorderKindAttribution(t *testing.T) {
+	r := NewRecorder(2.0, 4, false)
+	for i := 0; i < 30; i++ {
+		r.RecordKind(0.010, false, 3) // a fast read page
+	}
+	for i := 0; i < 10; i++ {
+		r.RecordKind(0.300, true, 7) // a slow write page
+	}
+	r.RecordKind(0.050, false, -1)          // unattributed
+	r.RecordKind(0.050, false, MaxKinds)    // out of range: skipped
+	r.RecordKind(0.050, false, MaxKinds+40) // far out of range
+
+	if got := r.KindHist(3).Count(); got != 30 {
+		t.Fatalf("kind 3 count = %d, want 30", got)
+	}
+	if got := r.KindHist(7).Count(); got != 10 {
+		t.Fatalf("kind 7 count = %d, want 10", got)
+	}
+	if got := r.KindHist(0).Count(); got != 0 {
+		t.Fatalf("untouched kind holds %d observations", got)
+	}
+	if r.KindHist(-1) != nil || r.KindHist(MaxKinds) != nil {
+		t.Fatal("out-of-range KindHist must be nil")
+	}
+	if got := r.RunHist().Count(); got != 43 {
+		t.Fatalf("combined count = %d, want 43 (bank must not double-count)", got)
+	}
+	// The bank's quantiles reflect only their own kind.
+	if p95 := r.KindHist(7).Quantile(0.95); math.Abs(p95/0.300-1) > RelativeErrorBound {
+		t.Fatalf("kind 7 p95 = %v, want ~0.3", p95)
+	}
+	if mean := r.KindHist(3).Mean(); math.Abs(mean/0.010-1) > RelativeErrorBound {
+		t.Fatalf("kind 3 mean = %v, want ~0.01", mean)
+	}
+}
+
+// TestRecorderKindSurvivesRotation pins that the bank is run-level:
+// window rotation must not reset per-kind histograms.
+func TestRecorderKindSurvivesRotation(t *testing.T) {
+	r := NewRecorder(2.0, 4, false)
+	r.RecordKind(0.020, false, 5)
+	r.Rotate(0)
+	r.RecordKind(0.020, false, 5)
+	r.Rotate(0)
+	if got := r.KindHist(5).Count(); got != 2 {
+		t.Fatalf("kind 5 count across rotations = %d, want 2", got)
+	}
+}
+
+// TestRecorderKindZeroAlloc extends the record-path allocation gate to
+// the attributed form (all 26 interaction kinds ride this path).
+func TestRecorderKindZeroAlloc(t *testing.T) {
+	rec := NewRecorder(2, 0, true)
+	r := rng.NewSource(11).Stream("kinds")
+	kind := 0
+	v := 0.001
+	allocs := testing.AllocsPerRun(10000, func() {
+		rec.RecordKind(v, kind&1 == 1, kind)
+		kind = (kind + 1) % MaxKinds
+		v = 0.001 + 0.01*r.Float64()
+	})
+	if allocs != 0 {
+		t.Fatalf("attributed record path allocates %v allocs/op, want 0", allocs)
+	}
+}

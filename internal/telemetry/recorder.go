@@ -40,7 +40,16 @@ var SeriesNames = []string{
 	"degraded",
 	"brownout_level",
 	"hazard_rate",
+	"cache_hit_ratio",
+	"cache_stampedes",
+	"queue_depth",
+	"queue_lag_ms",
 }
+
+// MaxKinds bounds the per-interaction histogram bank (RUBiS has 26
+// kinds; the bank is fixed-size so the record path stays a bounds check
+// plus an array index).
+const MaxKinds = 32
 
 // WindowSeries is the per-window output of a Recorder: one sample per
 // collector tick, sharing the resource series' 2-second time axis.
@@ -78,6 +87,14 @@ type WindowSeries struct {
 	// window that just closed. All nil unless degradation telemetry was
 	// enabled (hazard/brownout runs).
 	Degraded, BrownoutLevel, HazardRate *timeseries.Series
+	// HitRatio is the cache tier's per-window hit fraction and
+	// Stampedes its per-window redundant concurrent DB fetches; nil
+	// unless cache telemetry was enabled (cache-tier runs).
+	HitRatio, Stampedes *timeseries.Series
+	// QueueDepth/QueueLag are the write-behind broker's backlog and
+	// oldest-entry age gauges at each boundary; nil unless queue
+	// telemetry was enabled.
+	QueueDepth, QueueLag *timeseries.Series
 }
 
 // All lists the series in SeriesNames order. Entries may be nil (the
@@ -89,6 +106,7 @@ func (w *WindowSeries) All() []*timeseries.Series {
 		w.LatencyReadP95, w.LatencyRWP95, w.Abandoned, w.Replicas,
 		w.Timeouts, w.Sheds, w.Failures, w.Retries, w.Availability,
 		w.Degraded, w.BrownoutLevel, w.HazardRate,
+		w.HitRatio, w.Stampedes, w.QueueDepth, w.QueueLag,
 	}
 }
 
@@ -158,6 +176,18 @@ type Recorder struct {
 	levelGauge  func() int
 	hazardGauge func() float64
 
+	// Cache/queue accounting (cache-tier runs only): the node's
+	// cumulative counters differenced at each boundary, plus backlog
+	// gauges.
+	cacheFn                            func() (hits, misses, stampedes uint64)
+	lastHits, lastMisses, lastStampede uint64
+	depthGauge                         func() int
+	lagGauge                           func() float64
+
+	// kind is the per-interaction run-level histogram bank, indexed by
+	// the dense kind index stamped into every rubis.Result.
+	kind []Hist
+
 	// exact is the bounded exact reservoir backing small-count
 	// run-level quantiles; sorted tracks whether it is currently in
 	// ascending order (Quantile sorts it in place and records resume
@@ -182,6 +212,7 @@ func NewRecorder(windowSec float64, windowHint int, prealloc bool) *Recorder {
 	if prealloc {
 		r.exact = make([]float64, 0, r.exactCap)
 	}
+	r.kind = make([]Hist, MaxKinds)
 	r.series = WindowSeries{
 		LatencyMean:    r.newSeries(SeriesNames[0], "ms"),
 		LatencyP50:     r.newSeries(SeriesNames[1], "ms"),
@@ -250,6 +281,30 @@ func (r *Recorder) EnableDegradationSeries(level func() int, hazardRate func() f
 	}
 }
 
+// EnableCacheSeries materializes the per-window cache series (hit
+// ratio, stampede count); stats supplies the cache node's cumulative
+// web-visible hits/misses and redundant stampede fetches, differenced
+// at each boundary. Call before ReserveWindows.
+func (r *Recorder) EnableCacheSeries(stats func() (hits, misses, stampedes uint64)) {
+	r.cacheFn = stats
+	if r.series.HitRatio == nil {
+		r.series.HitRatio = r.newSeries(SeriesNames[20], "fraction")
+		r.series.Stampedes = r.newSeries(SeriesNames[21], "fetches/window")
+	}
+}
+
+// EnableQueueSeries materializes the per-window queue series (backlog
+// depth and oldest-entry lag gauges at each boundary). Call before
+// ReserveWindows.
+func (r *Recorder) EnableQueueSeries(depth func() int, lagMs func() float64) {
+	r.depthGauge = depth
+	r.lagGauge = lagMs
+	if r.series.QueueDepth == nil {
+		r.series.QueueDepth = r.newSeries(SeriesNames[22], "writes")
+		r.series.QueueLag = r.newSeries(SeriesNames[23], "ms")
+	}
+}
+
 // NoteTimeout tallies one timed-out request in the current window.
 func (r *Recorder) NoteTimeout() { r.winTimeouts++ }
 
@@ -267,6 +322,14 @@ func (r *Recorder) NoteDegraded() { r.winDegraded++ }
 // its interaction class (isWrite selects read-write). Allocation-free
 // once the reservoir is at capacity (or was preallocated).
 func (r *Recorder) Record(rt float64, isWrite bool) {
+	r.RecordKind(rt, isWrite, -1)
+}
+
+// RecordKind is Record with per-interaction attribution: kind is the
+// dense rubis kind index (out-of-range skips the bank, so callers
+// without attribution pass -1). Still one logarithm per observation and
+// allocation-free — the bank is fixed at construction.
+func (r *Recorder) RecordKind(rt float64, isWrite bool, kind int) {
 	i := binIndex(rt)
 	r.win.recordAt(rt, i)
 	r.run.recordAt(rt, i)
@@ -276,6 +339,9 @@ func (r *Recorder) Record(rt float64, isWrite bool) {
 	}
 	r.winClass[cls].recordAt(rt, i)
 	r.runClass[cls].recordAt(rt, i)
+	if kind >= 0 && kind < len(r.kind) {
+		r.kind[kind].recordAt(rt, i)
+	}
 	if len(r.exact) < r.exactCap {
 		r.exact = append(r.exact, rt)
 		r.sorted = false
@@ -378,6 +444,33 @@ func (r *Recorder) Rotate(inflight int) {
 		r.series.HazardRate.Append(hz)
 		r.winDegraded = 0
 	}
+	if r.series.HitRatio != nil {
+		var dh, dm, ds uint64
+		if r.cacheFn != nil {
+			hits, misses, stampedes := r.cacheFn()
+			dh = hits - r.lastHits
+			dm = misses - r.lastMisses
+			ds = stampedes - r.lastStampede
+			r.lastHits, r.lastMisses, r.lastStampede = hits, misses, stampedes
+		}
+		ratio := 0.0
+		if dh+dm > 0 {
+			ratio = float64(dh) / float64(dh+dm)
+		}
+		r.series.HitRatio.Append(ratio)
+		r.series.Stampedes.Append(float64(ds))
+	}
+	if r.series.QueueDepth != nil {
+		d, lag := 0, 0.0
+		if r.depthGauge != nil {
+			d = r.depthGauge()
+		}
+		if r.lagGauge != nil {
+			lag = r.lagGauge()
+		}
+		r.series.QueueDepth.Append(float64(d))
+		r.series.QueueLag.Append(lag)
+	}
 	w.Reset()
 	r.winClass[0].Reset()
 	r.winClass[1].Reset()
@@ -447,6 +540,15 @@ func (r *Recorder) RunHist() *Hist { return &r.run }
 // drove their session away — the "driven away" half of SLO-debt
 // accounting (RunHist minus this is demand served, however slowly).
 func (r *Recorder) AbandonedHist() *Hist { return &r.abandon }
+
+// KindHist exposes the run-level histogram for one dense interaction
+// kind index, or nil when out of range.
+func (r *Recorder) KindHist(kind int) *Hist {
+	if kind < 0 || kind >= len(r.kind) {
+		return nil
+	}
+	return &r.kind[kind]
+}
 
 // ClassHist exposes the run-level histogram for one interaction class.
 func (r *Recorder) ClassHist(isWrite bool) *Hist {

@@ -67,9 +67,11 @@ func TestRecorderWindowSeries(t *testing.T) {
 		if sr == nil {
 			switch SeriesNames[i] {
 			case "replicas", "timeouts", "sheds", "failures", "retries", "availability",
-				"degraded", "brownout_level", "hazard_rate":
+				"degraded", "brownout_level", "hazard_rate",
+				"cache_hit_ratio", "cache_stampedes", "queue_depth", "queue_lag_ms":
 				// Conditionally materialized (replica gauge / fault /
-				// degradation telemetry); absent by default.
+				// degradation / cache / queue telemetry); absent by
+				// default.
 			default:
 				t.Errorf("series %q absent by default", SeriesNames[i])
 			}

@@ -51,30 +51,42 @@ func (a *Autoscaler) OnSample(now sim.Time) {
 	if n == 0 {
 		return
 	}
-	// Idle windows (no completions) carry no latency signal; they break
-	// a hot streak but do not count as calm either — an idle system
-	// should drain on sustained quiet, which the throughput gate below
-	// still allows once traffic resumes at a trickle.
 	if a.tel.Throughput.Values[n-1] <= 0 {
-		a.hot = 0
-		return
-	}
-	p95 := a.tel.LatencyP95.Values[n-1]
-	signal := p95
-	if a.spec.Policy == AutoscalePredictive {
-		if proj := a.projectP95(n); proj > signal {
-			signal = proj
+		if !a.collapsed(n) {
+			// Idle windows (no completions, nothing trapped in flight)
+			// carry no latency signal; they break a hot streak but do
+			// not count as calm either — an idle system should drain on
+			// sustained quiet, which the throughput gate still allows
+			// once traffic resumes at a trickle.
+			a.hot = 0
+			return
 		}
-	}
-	switch {
-	case signal > a.spec.SLOMillis:
+		// Total collapse: no completions, yet demand is trapped in
+		// flight or concluding abnormally. There is no p95 to compare,
+		// but treating the window as quiet would reset the very
+		// violation streak the detection window needs to fire during
+		// the outage — count it as violating instead (composite
+		// in-flight/timeout/availability signal).
 		a.hot++
 		a.calm = 0
-	case p95 < a.spec.LowFraction*a.spec.SLOMillis:
-		a.calm++
-		a.hot = 0
-	default:
-		a.hot, a.calm = 0, 0
+	} else {
+		p95 := a.tel.LatencyP95.Values[n-1]
+		signal := p95
+		if a.spec.Policy == AutoscalePredictive {
+			if proj := a.projectP95(n); proj > signal {
+				signal = proj
+			}
+		}
+		switch {
+		case signal > a.spec.SLOMillis:
+			a.hot++
+			a.calm = 0
+		case p95 < a.spec.LowFraction*a.spec.SLOMillis:
+			a.calm++
+			a.hot = 0
+		default:
+			a.hot, a.calm = 0, 0
+		}
 	}
 	if a.opped && now-a.lastOp < a.cooldown {
 		return
@@ -97,6 +109,24 @@ func (a *Autoscaler) OnSample(now sim.Time) {
 		}
 		a.calm = 0
 	}
+}
+
+// collapsed distinguishes a genuinely idle zero-throughput window from
+// total collapse, using whichever live signals the run carries:
+// requests trapped in flight at the boundary, abnormal conclusions
+// (timeouts/failures) within the window, or availability below one.
+func (a *Autoscaler) collapsed(n int) bool {
+	if a.tel.Inflight != nil && n <= a.tel.Inflight.Len() && a.tel.Inflight.Values[n-1] > 0 {
+		return true
+	}
+	if a.tel.Timeouts != nil && n <= a.tel.Timeouts.Len() &&
+		a.tel.Timeouts.Values[n-1]+a.tel.Failures.Values[n-1] > 0 {
+		return true
+	}
+	if a.tel.Availability != nil && n <= a.tel.Availability.Len() && a.tel.Availability.Values[n-1] < 1 {
+		return true
+	}
+	return false
 }
 
 // projectP95 extrapolates the p95 series LookaheadWindows ahead with an

@@ -1,0 +1,115 @@
+package tiers
+
+import (
+	"testing"
+
+	"vwchar/internal/sim"
+	"vwchar/internal/telemetry"
+	"vwchar/internal/timeseries"
+)
+
+// collapseTel builds the window series a real collector feeds the
+// autoscaler, including the fault series the collapse signal reads.
+func collapseTel() *telemetry.WindowSeries {
+	return &telemetry.WindowSeries{
+		LatencyP95:   timeseries.New("latency_p95", "ms"),
+		Throughput:   timeseries.New("throughput", "req/s"),
+		Inflight:     timeseries.New("inflight", "requests"),
+		Timeouts:     timeseries.New("timeouts", "requests/window"),
+		Failures:     timeseries.New("failures", "requests/window"),
+		Availability: timeseries.New("availability", "fraction"),
+	}
+}
+
+// TestAutoscalerScalesDuringCollapse is the overload-robustness
+// regression: under total collapse nothing completes, so the
+// throughput gate used to classify every window as idle and reset the
+// violation streak — the autoscaler could never fire during exactly
+// the outage it exists for. The composite signal (demand trapped in
+// flight, abnormal outcomes, availability below 1) must keep the
+// streak alive and boot the parked replica.
+func TestAutoscalerScalesDuringCollapse(t *testing.T) {
+	c := pickCluster(LBRoundRobin, 2)
+	c.state[1] = ReplicaParked
+	c.activeCount, c.peakActive = 1, 1
+	tel := collapseTel()
+	a := NewAutoscaler(c, tel, AutoscalerSpec{
+		SLOMillis:       100,
+		ScaleUpWindows:  3,
+		CooldownSeconds: 2,
+		BootSeconds:     5,
+	})
+
+	// Window 1: overloaded but still completing — a classic violation.
+	now := 2 * sim.Second
+	tel.LatencyP95.Append(500)
+	tel.Throughput.Append(10)
+	tel.Inflight.Append(30)
+	tel.Timeouts.Append(0)
+	tel.Failures.Append(0)
+	tel.Availability.Append(1)
+	a.OnSample(now)
+
+	// Windows 2-3: total collapse. Zero completions, 40 requests
+	// trapped in flight, timeouts concluding, availability at zero.
+	for i := 0; i < 2; i++ {
+		now += 2 * sim.Second
+		tel.LatencyP95.Append(0)
+		tel.Throughput.Append(0)
+		tel.Inflight.Append(40)
+		tel.Timeouts.Append(5)
+		tel.Failures.Append(2)
+		tel.Availability.Append(0)
+		a.OnSample(now)
+	}
+
+	boots := 0
+	for _, e := range c.Events {
+		if e.Kind == "boot" {
+			boots++
+		}
+	}
+	if boots != 1 || c.Booting() != 1 {
+		t.Fatalf("collapse windows did not sustain the streak: boots=%d booting=%d, want 1/1",
+			boots, c.Booting())
+	}
+}
+
+// TestAutoscalerIdleStillResetsStreak pins the other half of the
+// contract: a genuinely idle zero-throughput window (nothing in
+// flight, no abnormal outcomes, availability 1) carries no overload
+// signal and must still break the streak.
+func TestAutoscalerIdleStillResetsStreak(t *testing.T) {
+	c := pickCluster(LBRoundRobin, 2)
+	c.state[1] = ReplicaParked
+	c.activeCount, c.peakActive = 1, 1
+	tel := collapseTel()
+	a := NewAutoscaler(c, tel, AutoscalerSpec{
+		SLOMillis:       100,
+		ScaleUpWindows:  2,
+		CooldownSeconds: 2,
+		BootSeconds:     5,
+	})
+
+	// Alternate hot and idle windows: the streak never reaches 2.
+	now := sim.Time(0)
+	for i := 0; i < 6; i++ {
+		now += 2 * sim.Second
+		if i%2 == 0 {
+			tel.LatencyP95.Append(500)
+			tel.Throughput.Append(10)
+			tel.Inflight.Append(5)
+		} else {
+			tel.LatencyP95.Append(0)
+			tel.Throughput.Append(0)
+			tel.Inflight.Append(0)
+		}
+		tel.Timeouts.Append(0)
+		tel.Failures.Append(0)
+		tel.Availability.Append(1)
+		a.OnSample(now)
+	}
+	if c.Booting() != 0 {
+		t.Fatalf("idle windows no longer reset the streak: %d booting", c.Booting())
+	}
+}

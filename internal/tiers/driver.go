@@ -99,7 +99,7 @@ func clientDone(arg any) {
 		return
 	}
 	rt := (d.k.Now() - c.sentAt).Sec()
-	d.observe(rt, c.res.IsWrite)
+	d.observe(rt, c.res.IsWrite, int(c.res.Kind))
 	d.scheduleNext(c)
 }
 

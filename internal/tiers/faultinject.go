@@ -22,8 +22,20 @@ type Injector struct {
 	topo    Topology
 	baseLag sim.Time
 
+	// cacheSrv/queueSrv, when wired, receive CacheDown/Up and
+	// QueueDown/Up events (single-instance tiers).
+	cacheSrv *CacheServer
+	queueSrv *QueueServer
+
 	events []faults.Event
 	idx    int
+}
+
+// SetAuxTiers wires the cache and queue nodes into fault injection;
+// nil leaves the corresponding events inert.
+func (inj *Injector) SetAuxTiers(c *CacheServer, q *QueueServer) {
+	inj.cacheSrv = c
+	inj.queueSrv = q
 }
 
 // NewInjector wires the injector; call Start to arm the timeline.
@@ -101,6 +113,22 @@ func (inj *Injector) apply(e faults.Event) {
 		inj.setPathDelay(sim.Seconds(e.Value))
 	case faults.DelayEnd:
 		inj.setPathDelay(0)
+	case faults.CacheDown:
+		if inj.cacheSrv != nil {
+			inj.cacheSrv.crash()
+		}
+	case faults.CacheUp:
+		if inj.cacheSrv != nil {
+			inj.cacheSrv.restore()
+		}
+	case faults.QueueDown:
+		if inj.queueSrv != nil {
+			inj.queueSrv.crash()
+		}
+	case faults.QueueUp:
+		if inj.queueSrv != nil {
+			inj.queueSrv.restore()
+		}
 	}
 }
 

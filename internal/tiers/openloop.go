@@ -213,7 +213,7 @@ func openDone(arg any) {
 		return
 	}
 	rt := (d.k.Now() - s.sentAt).Sec()
-	d.observe(rt, s.res.IsWrite)
+	d.observe(rt, s.res.IsWrite, int(s.res.Kind))
 	d.afterResponse(s, d.k.Now()-s.sentAt, false)
 }
 

@@ -407,9 +407,16 @@ type HealthMonitor struct {
 	primarySeen   bool
 	primaryDownAt sim.Time
 
+	// queue, when wired, gets its DB paths swapped on promotion exactly
+	// like the web replicas, so drains follow the new primary.
+	queue *QueueServer
+
 	// Failovers is the promotion log, in time order.
 	Failovers []FailoverEvent
 }
+
+// SetQueue wires the write-behind broker into failover path swapping.
+func (hm *HealthMonitor) SetQueue(q *QueueServer) { hm.queue = q }
 
 // NewHealthMonitor wires the monitor; call Start to begin probing.
 func NewHealthMonitor(k *sim.Kernel, web *WebCluster, dbc *DBCluster, spec faults.ResilienceSpec) *HealthMonitor {
@@ -477,6 +484,9 @@ func (hm *HealthMonitor) promote(now sim.Time, j int) {
 		if len(w.dbPaths) > 1+j {
 			w.dbPaths[0], w.dbPaths[1+j] = w.dbPaths[1+j], w.dbPaths[0]
 		}
+	}
+	if hm.queue != nil && len(hm.queue.dbPaths) > 1+j {
+		hm.queue.dbPaths[0], hm.queue.dbPaths[1+j] = hm.queue.dbPaths[1+j], hm.queue.dbPaths[0]
 	}
 	hm.Failovers = append(hm.Failovers, FailoverEvent{
 		DetectedAt: hm.primaryDownAt,

@@ -1,6 +1,7 @@
 package tiers
 
 import (
+	"vwchar/internal/cachetier"
 	"vwchar/internal/osmodel"
 	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
@@ -105,6 +106,16 @@ type WebAppServer struct {
 	// slow is the fault-injected CPU slowdown factor (> 1 while a
 	// slow-node fault is active; 0 otherwise).
 	slow float64
+
+	// cache/queue turn the fixed web→DB chain into a backend graph:
+	// cacheable reads consult the cache node and fall through to the DB
+	// on a miss; writes publish to the write-behind queue when it has
+	// room. Both nil by default — the healthy web→DB path reads two
+	// predictable nil checks and is otherwise untouched.
+	cache     *CacheServer
+	cachePath PathPair
+	wq        *QueueServer
+	wqPath    PathPair
 }
 
 // webRequest is the pooled per-request state.
@@ -139,6 +150,14 @@ type webRequest struct {
 	// epoch at issue time.
 	dbsrv   *DBServer
 	dbEpoch uint32
+	// ckey is the request's cache fragment key; cfill marks this request
+	// as the filler that must Put (or abort) the fragment after its DB
+	// chain; cres/qres are the caller-owned out-params the cache GET and
+	// queue publish resolve into.
+	ckey  cachetier.Key
+	cfill bool
+	cres  CacheGetResult
+	qres  QueuePubResult
 }
 
 // NewWebAppServer builds one web replica on a backend, wired to its DB
@@ -159,6 +178,19 @@ func NewWebAppServer(k *sim.Kernel, be Backend, db *DBCluster, dbPaths []PathPai
 	be.OS().Fork(params.Workers / 8) // initial spare servers
 	k.Every(5*sim.Second, 5*sim.Second, w.flushSpill)
 	return w
+}
+
+// SetCacheTier wires the replica to a cache node through its own path
+// pair (To carries GET/SET/DELETE out, From carries replies back).
+func (w *WebAppServer) SetCacheTier(c *CacheServer, path PathPair) {
+	w.cache = c
+	w.cachePath = path
+}
+
+// SetQueueTier wires the replica to the write-behind queue node.
+func (w *WebAppServer) SetQueueTier(q *QueueServer, path PathPair) {
+	w.wq = q
+	w.wqPath = path
 }
 
 // flushSpill writes the buffered log/session bytes back every 5 seconds,
@@ -250,14 +282,133 @@ func (w *WebAppServer) start(req *webRequest) {
 	w.be.SubmitCPU(stage1, webStage1Done, req)
 }
 
-// webStage1Done fires after the pre-query CPU stage: begin the DB calls.
+// webStage1Done fires after the pre-query CPU stage: begin the backend
+// phase (queue publish, cache lookup, or the direct DB chain).
 func webStage1Done(arg any) {
 	req := arg.(*webRequest)
 	if req.w.stale(req) {
 		req.w.failRequest(req)
 		return
 	}
-	req.w.stepQuery(req)
+	req.w.beginBackend(req)
+}
+
+// beginBackend routes the request's backend work through the graph:
+// writes publish to the queue when it has room, cacheable reads consult
+// the cache, and everything else (or any fallback) runs the synchronous
+// DB chain. With no cache/queue wired this is exactly the old stepQuery
+// entry — same branches, same events.
+func (w *WebAppServer) beginBackend(req *webRequest) {
+	res := req.res
+	if len(res.Queries) > 0 {
+		if res.IsWrite && w.wq != nil && w.wq.Admit() {
+			w.wqPath.To.Transfer(w.wq.PublishBytes(res), webQueuePubSent, req)
+			return
+		}
+		if res.Cacheable && w.cache != nil && !w.cache.down {
+			req.ckey = cachetier.Key{Kind: res.CacheKey.Kind, ID: res.CacheKey.ID}
+			w.cachePath.To.Transfer(w.cache.params.GetRequestBytes, webCacheGetSent, req)
+			return
+		}
+	}
+	w.stepQuery(req)
+}
+
+// webCacheGetSent fires when the GET request reached the cache node.
+func webCacheGetSent(arg any) {
+	req := arg.(*webRequest)
+	w := req.w
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
+	w.cache.HandleGet(req.ckey, &req.cres, w.cachePath.From, webCacheGetDone, req)
+}
+
+// webCacheGetDone fires when the cache reply reached the web tier: a
+// hit serves the fragment (the whole DB chain is skipped — this is the
+// 0-alloc fast path); a miss makes this request the fragment's filler
+// and falls through to the DB.
+func webCacheGetDone(arg any) {
+	req := arg.(*webRequest)
+	w := req.w
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
+	if req.cres.Outcome == cachetier.Hit {
+		w.finish(req)
+		return
+	}
+	req.cfill = true
+	w.stepQuery(req)
+}
+
+// webQueuePubSent fires when the publish payload reached the queue node.
+func webQueuePubSent(arg any) {
+	req := arg.(*webRequest)
+	w := req.w
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
+	w.wq.HandlePublish(req.res.Queries, &req.qres, w.wqPath.From, webQueueAckDone, req)
+}
+
+// webQueueAckDone fires when the publish ack reached the web tier: on
+// acceptance the write is durable at the broker and the request
+// completes without touching the DB; on refusal (filled up or crashed
+// under the publish) it falls back to the synchronous chain.
+func webQueueAckDone(arg any) {
+	req := arg.(*webRequest)
+	w := req.w
+	if w.stale(req) {
+		w.failRequest(req)
+		return
+	}
+	if req.qres.OK {
+		w.invalidate(req)
+		w.finish(req)
+		return
+	}
+	w.stepQuery(req)
+}
+
+// finishBackend completes the DB chain: a filler ships the fragment to
+// the cache, a write fires its invalidations, then rendering starts.
+func (w *WebAppServer) finishBackend(req *webRequest) {
+	if req.cfill {
+		req.cfill = false
+		if w.cache != nil && !w.cache.down {
+			_, fromDB := req.res.DBTransferBytes()
+			w.cache.SendFill(w.cachePath.To, req.ckey, fromDB)
+		}
+	}
+	w.invalidate(req)
+	w.finish(req)
+}
+
+// invalidate ships the write's declared invalidations to the cache
+// node; fire-and-forget, like a delete-on-write memcached client.
+func (w *WebAppServer) invalidate(req *webRequest) {
+	if w.cache == nil || w.cache.down || req.res.NInval == 0 {
+		return
+	}
+	for i := uint8(0); i < req.res.NInval; i++ {
+		ref := req.res.Inval[i]
+		w.cache.SendInval(w.cachePath.To, cachetier.Key{Kind: ref.Kind, ID: ref.ID})
+	}
+}
+
+// abortFill withdraws a failed filler's placeholder so the key does not
+// wedge behind a dead lease.
+func (w *WebAppServer) abortFill(req *webRequest) {
+	if req.cfill {
+		req.cfill = false
+		if w.cache != nil {
+			w.cache.AbortFetch(req.ckey)
+		}
+	}
 }
 
 // stepQuery issues the interaction's DB calls sequentially, as the PHP
@@ -267,7 +418,7 @@ func webStage1Done(arg any) {
 // chosen instance.
 func (w *WebAppServer) stepQuery(req *webRequest) {
 	if req.qi >= len(req.res.Queries) {
-		w.finish(req)
+		w.finishBackend(req)
 		return
 	}
 	q := &req.res.Queries[req.qi]
@@ -393,6 +544,7 @@ func (w *WebAppServer) stale(req *webRequest) bool {
 // worker accounting (used for stale requests after a crash, and for
 // queued requests flushed by the crash itself).
 func (w *WebAppServer) failRequest(req *webRequest) {
+	w.abortFill(req)
 	req.failed = true
 	w.k.AfterCall(errorRespLatency, webRespDone, req)
 }
@@ -400,6 +552,7 @@ func (w *WebAppServer) failRequest(req *webRequest) {
 // errorOut fails a live request whose DB instance is unreachable: the
 // worker slot frees normally, then the error response goes out.
 func (w *WebAppServer) errorOut(req *webRequest) {
+	w.abortFill(req)
 	w.release()
 	req.failed = true
 	w.k.AfterCall(errorRespLatency, webRespDone, req)

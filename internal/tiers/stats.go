@@ -49,6 +49,16 @@ type LoadGen interface {
 	// level/hazard-rate series (hazard or brownout runs; nil gauges
 	// sample as zero).
 	EnableDegradationTelemetry(level func() int, hazardRate func() float64)
+	// EnableCacheTelemetry materializes the hit-ratio/stampede series
+	// (cache-tier runs; stats supplies the cache node's cumulative
+	// counters, differenced per window).
+	EnableCacheTelemetry(stats func() (hits, misses, stampedes uint64))
+	// EnableQueueTelemetry materializes the queue depth/lag series
+	// (queue-tier runs; gauges sampled at each window boundary).
+	EnableQueueTelemetry(depth func() int, lagMs func() float64)
+	// KindHist exposes the run-level per-interaction histogram for one
+	// dense rubis kind index (nil when out of range).
+	KindHist(kind int) *telemetry.Hist
 	// RequestTotals splits issued requests by outcome. issued counts
 	// requests dispatched into the serving path; the remainder
 	// (issued - served - timedOut - shed - failed - degraded) is still
@@ -103,11 +113,12 @@ func (s *driverStats) observeSent() {
 }
 
 // observe records one completed interaction's response time in
-// seconds, attributed to its read or read-write class.
-func (s *driverStats) observe(rt float64, isWrite bool) {
+// seconds, attributed to its read or read-write class and its dense
+// interaction kind.
+func (s *driverStats) observe(rt float64, isWrite bool, kind int) {
 	s.Completed++
 	s.inflight--
-	s.rec.Record(rt, isWrite)
+	s.rec.RecordKind(rt, isWrite, kind)
 }
 
 // observeFault records one request that ended abnormally: it counts
@@ -141,6 +152,19 @@ func (s *driverStats) EnableFaultTelemetry(retries func() uint64) {
 func (s *driverStats) EnableDegradationTelemetry(level func() int, hazardRate func() float64) {
 	s.rec.EnableDegradationSeries(level, hazardRate)
 }
+
+// EnableCacheTelemetry implements LoadGen.
+func (s *driverStats) EnableCacheTelemetry(stats func() (hits, misses, stampedes uint64)) {
+	s.rec.EnableCacheSeries(stats)
+}
+
+// EnableQueueTelemetry implements LoadGen.
+func (s *driverStats) EnableQueueTelemetry(depth func() int, lagMs func() float64) {
+	s.rec.EnableQueueSeries(depth, lagMs)
+}
+
+// KindHist implements LoadGen.
+func (s *driverStats) KindHist(kind int) *telemetry.Hist { return s.rec.KindHist(kind) }
 
 // RequestTotals implements LoadGen.
 func (s *driverStats) RequestTotals() (issued, served, timedOut, shed, failed, degraded uint64) {

@@ -41,7 +41,7 @@ func TestDriverStatsQuantileMatchesOldExact(t *testing.T) {
 	for i := 0; i < 4096; i++ {
 		rt := r.LogNormal(math.Log(0.015), 1.1)
 		s.observeSent()
-		s.observe(rt, false)
+		s.observe(rt, false, -1)
 		old = append(old, rt)
 		sum += rt
 	}
@@ -69,7 +69,7 @@ func TestDriverStatsQuantileBeyondCap(t *testing.T) {
 	for i := 0; i < n; i++ {
 		rt := r.LogNormal(math.Log(0.02), 0.9)
 		s.observeSent()
-		s.observe(rt, false)
+		s.observe(rt, false, -1)
 		all = append(all, rt)
 	}
 	for _, q := range []float64{0.5, 0.95, 0.99} {
@@ -100,10 +100,10 @@ func TestDriverStatsWindowChurnSeries(t *testing.T) {
 	s.rec.NoteStart()
 	s.observeSent()
 	s.observeSent()
-	s.observe(0.010, false) // one of the two completes in window 1
+	s.observe(0.010, false, -1) // one of the two completes in window 1
 	s.RotateWindow(0)
 
-	s.observe(0.500, false) // the straggler completes in window 2
+	s.observe(0.500, false, -1) // the straggler completes in window 2
 	s.rec.NoteEnd()
 	s.RotateWindow(0)
 

@@ -29,7 +29,7 @@ go test -run xxx -bench 'BenchmarkArrivalSchedule$' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/load/ | tee -a "$tmp"
 go test -run xxx -bench 'BenchmarkLatencyRecord$|BenchmarkWindowRotate$' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/telemetry/ | tee -a "$tmp"
-go test -run xxx -bench 'BenchmarkLBDispatch|BenchmarkDispatchWithFaults|BenchmarkDispatchWithCascade' \
+go test -run xxx -bench 'BenchmarkLBDispatch|BenchmarkDispatchWithFaults|BenchmarkDispatchWithCascade|BenchmarkCacheHitDispatch' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/tiers/ | tee -a "$tmp"
 
 {

@@ -20,6 +20,7 @@ package vwchar
 import (
 	"io"
 
+	"vwchar/internal/cachetier"
 	"vwchar/internal/characterize"
 	"vwchar/internal/experiment"
 	"vwchar/internal/faults"
@@ -76,9 +77,11 @@ const (
 
 // Tier names accepted by Result accessors and characterization.
 const (
-	TierWeb  = experiment.TierWeb
-	TierDB   = experiment.TierDB
-	TierDom0 = experiment.TierDom0
+	TierWeb   = experiment.TierWeb
+	TierDB    = experiment.TierDB
+	TierDom0  = experiment.TierDom0
+	TierCache = experiment.TierCache
+	TierQueue = experiment.TierQueue
 )
 
 // DefaultConfig returns the paper's experimental setup (1000 clients,
@@ -456,6 +459,61 @@ const (
 	MetricHazardCrashes   = runner.MetricHazardCrashes
 	MetricBrownoutPeak    = runner.MetricBrownoutPeak
 	MetricBrownoutDropped = runner.MetricBrownoutDropped
+)
+
+// Cache and write-behind queue tiers (internal/cachetier,
+// internal/tiers): Config.Cache deploys a memcache-like cache VM —
+// cacheable reads consult it first and fall through to the DB on a
+// miss, writes invalidate dependent keys, hot-key TTL expiries herd
+// into thundering stampedes unless single-flight leases are on, and a
+// crash restarts it cold. Config.Queue deploys a write-behind broker —
+// writes publish their query chains and complete on the ack, a
+// periodic batched drain replays them to the DB primary, and a crash
+// retains the journaled backlog (at-least-once). Both nil reproduces
+// the direct-to-DB serving path byte for byte.
+type (
+	// CacheSpec is the JSON round-trippable cache-tier description.
+	CacheSpec = cachetier.CacheSpec
+	// QueueSpec is the JSON round-trippable queue-tier description.
+	QueueSpec = cachetier.QueueSpec
+	// CacheStats is the cache node's per-run accounting.
+	CacheStats = tiers.CacheStats
+	// QueueStats is the broker's per-run accounting.
+	QueueStats = tiers.QueueStats
+	// InteractionLatency is one interaction kind's run-level latency and
+	// cache breakdown (Result.PerInteraction).
+	InteractionLatency = experiment.InteractionLatency
+	// CacheAnalysis is the cache/queue view of a run: warmup
+	// convergence, miss-storm blast radius, backlog drain.
+	CacheAnalysis = characterize.CacheAnalysis
+)
+
+// DefaultCacheSpec returns the calibrated cache tier (4096 entries,
+// 64 MB, 60 s TTL, leases off).
+func DefaultCacheSpec() CacheSpec { return cachetier.DefaultCacheSpec() }
+
+// DefaultQueueSpec returns the calibrated write-behind queue tier
+// (4096-deep, 64-write batches, 200 ms drain).
+func DefaultQueueSpec() QueueSpec { return QueueSpec{}.WithDefaults() }
+
+// AnalyzeCache computes the cache/queue analysis of a run: hit-ratio
+// convergence, thundering-herd blast radius, and backlog drain time.
+func AnalyzeCache(r *Result) CacheAnalysis { return characterize.AnalyzeCache(r) }
+
+// CacheableInteractions lists the RUBiS interaction kinds the cache
+// tier serves.
+func CacheableInteractions() []Interaction { return rubis.CacheableInteractions() }
+
+// Cache and queue metrics reported by sweep points whose runs deployed
+// the corresponding tier.
+const (
+	MetricCacheHitRatio  = runner.MetricCacheHitRatio
+	MetricCacheStampedes = runner.MetricCacheStampedes
+	MetricCacheEvictions = runner.MetricCacheEvictions
+	MetricQueuePublished = runner.MetricQueuePublished
+	MetricQueuePeakDepth = runner.MetricQueuePeakDepth
+	MetricQueueMaxLag    = runner.MetricQueueMaxLag
+	MetricQueueOverflows = runner.MetricQueueOverflows
 )
 
 // BuildSaturationFigure assembles the Figure 9-style panel from one
