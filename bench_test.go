@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"vwchar"
+	"vwchar/internal/rubis"
 	"vwchar/internal/sim"
 	"vwchar/internal/xen"
 )
@@ -200,6 +201,11 @@ func sweepSpec(workers, replications int) vwchar.SweepSpec {
 		Replications: replications,
 		RootSeed:     42,
 		Workers:      workers,
+		// One golden dataset for the whole grid: population runs once and
+		// every replication attaches a copy-on-write view, which is what
+		// keeps these sweep benchmarks dominated by simulation instead of
+		// dataset rebuilds.
+		SharedDatasets: true,
 	}
 }
 
@@ -336,6 +342,31 @@ func BenchmarkOpenLoopDriver(b *testing.B) {
 		if res.Sessions == nil || res.Sessions.Started == 0 {
 			b.Fatal("open-loop benchmark served no sessions")
 		}
+	}
+}
+
+// BenchmarkSnapshotAttach measures the per-replication dataset cost
+// after the golden snapshot exists: attach a copy-on-write view, release
+// it back to the reuse pool. The steady-state path must be
+// allocation-free (CI gates on 0 allocs/op) — this is the number that
+// replaced ~60k engine operations of population per replication.
+func BenchmarkSnapshotAttach(b *testing.B) {
+	cfg := rubis.DefaultDataset()
+	cfg.Users = 2000
+	cfg.ActiveItems = 600
+	cfg.OldItems = 1300
+	cfg.BufferPages = 500
+	snap, err := rubis.NewSnapshot(cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// First attach builds the view; releasing it seeds the reuse pool so
+	// the timed loop measures the recycled rearm path every iteration.
+	snap.Attach().Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Attach().Release()
 	}
 }
 

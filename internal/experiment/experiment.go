@@ -74,6 +74,14 @@ type Config struct {
 	Duration sim.Time
 	Seed     uint64
 	Dataset  rubis.DatasetConfig
+	// DatasetSeed, when non-zero, pins the dataset-population seed
+	// instead of deriving it from Seed. Runs sharing a DatasetSeed (and
+	// Dataset scale) populate one immutable golden snapshot and attach
+	// copy-on-write views, so replications skip population entirely; see
+	// runner.SweepSpec.SharedDatasets. Zero keeps the historical
+	// per-run derivation (each run populates its own dataset stream) —
+	// still served through the snapshot cache, just with per-run keys.
+	DatasetSeed uint64 `json:",omitempty"`
 	// KeepFullCatalog records all 182 metrics per target, not just the
 	// headline figure series.
 	KeepFullCatalog bool
@@ -312,6 +320,36 @@ func Run(cfg Config) (*Result, error) {
 	costs := rubis.DefaultCostParams()
 
 	res := &Result{Config: cfg}
+	// Datasets come from the process-wide golden snapshot cache: the
+	// first run for a (scale, seed) pair populates and seals it, and
+	// every later run attaches a copy-on-write view in microseconds.
+	// Views are returned to the snapshot's pool when the run is done
+	// (results only hold aggregated numbers, never engine state).
+	var attachedApps []*rubis.App
+	defer func() {
+		for _, a := range attachedApps {
+			a.Release()
+		}
+	}()
+	attachApp := func(streamName string, pair int) (*rubis.App, error) {
+		seed := src.SeedFor(streamName)
+		if cfg.DatasetSeed != 0 {
+			if pair == 0 {
+				// Pair 0 (and the physical env) share the pinned seed
+				// directly, so a sweep's replications — and both
+				// environments — reuse one golden.
+				seed = cfg.DatasetSeed
+			} else {
+				seed = rng.NewSource(cfg.DatasetSeed).SeedFor(streamName)
+			}
+		}
+		a, err := rubis.SharedApp(cfg.Dataset, seed)
+		if err != nil {
+			return nil, err
+		}
+		attachedApps = append(attachedApps, a)
+		return a, nil
+	}
 	var growthWebs []*tiers.WebAppServer
 	var collector *sysstat.Collector
 	var hv *xen.Hypervisor
@@ -360,7 +398,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		hv = hvs[0]
 		for p := 0; p < pairs; p++ {
-			appP, err := rubis.NewApp(cfg.Dataset, src.Stream(fmt.Sprintf("dataset-%d", p)))
+			appP, err := attachApp(fmt.Sprintf("dataset-%d", p), p)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: dataset %d: %w", p, err)
 			}
@@ -398,7 +436,7 @@ func Run(cfg Config) (*Result, error) {
 		_ = app
 
 	case Physical:
-		appP, err := rubis.NewApp(cfg.Dataset, src.Stream("dataset"))
+		appP, err := attachApp("dataset", 0)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: dataset: %w", err)
 		}

@@ -61,6 +61,14 @@ func (s *Source) SeedFor(name string) uint64 {
 	return splitmix64(s.seed ^ splitmix64(hashName(name)))
 }
 
+// NewStream builds a stream directly from a derived substream seed, as
+// returned by Source.SeedFor. NewStream(src.SeedFor(name)) is
+// byte-identical to src.Stream(name), which lets callers store the seed
+// (a comparable cache key) and reconstruct the exact stream later.
+func NewStream(seed uint64) *Stream {
+	return &Stream{r: rand.New(rand.NewSource(int64(seed)))}
+}
+
 // Stream is a deterministic random stream with distribution helpers.
 type Stream struct {
 	r *rand.Rand

@@ -66,6 +66,10 @@ type App struct {
 	nextCommentID int64
 	nextBuyNowID  int64
 	nextUserID    int64
+
+	// snap is non-nil while this App is an attached copy-on-write view
+	// of a golden Snapshot; Release returns it to the snapshot's pool.
+	snap *Snapshot
 }
 
 // NewApp creates the schema and populates the dataset using the given

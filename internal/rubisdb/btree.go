@@ -237,6 +237,10 @@ func (t *BTree) insertInto(id PageID, ek, value uint64) (uint64, uint64, uint32,
 		f.Unpin(false)
 		return 0, 0, noNext, err
 	}
+	// The child split propagates an edit into this node; copy a shared
+	// golden page before touching it.
+	t.pool.Privatize(f)
+	page = f.Page
 	if n < innerMax {
 		shiftInnerRight(page, childIdx, n)
 		setInnerEntry(page, childIdx, sepK, sepV, newChild)
@@ -294,6 +298,10 @@ func (t *BTree) insertLeaf(f *Frame, ek, value uint64) (uint64, uint64, uint32, 
 		f.Unpin(false)
 		return 0, 0, noNext, fmt.Errorf("rubisdb: duplicate index entry (%d,%d)", decodeKey(ek), value)
 	}
+	// Both remaining paths edit this leaf (in-place insert, or the left
+	// half of a split); copy a shared golden page first.
+	t.pool.Privatize(f)
+	page = f.Page
 	if n < leafMax {
 		shiftLeafRight(page, pos, n)
 		setLeafEntry(page, pos, ek, value)
@@ -352,6 +360,8 @@ func (t *BTree) Delete(key int64, value uint64) (bool, error) {
 		f.Unpin(false)
 		return false, nil
 	}
+	t.pool.Privatize(f)
+	page = f.Page
 	shiftLeafLeft(page, pos, n)
 	setNodeCount(page, n-1)
 	f.Unpin(true)
@@ -478,7 +488,7 @@ func (t *BTree) BulkLoad(entries []Entry) error {
 		// Restore the root to an empty leaf so the tree stays a
 		// consistent empty tree; already-built pages are leaked to the
 		// store, like the error paths of an interrupted split.
-		if f, rerr := t.pool.Get(t.root); rerr == nil {
+		if f, rerr := t.pool.GetMut(t.root); rerr == nil {
 			initLeaf(f.Page)
 			f.Unpin(true)
 		}
@@ -507,8 +517,9 @@ func (t *BTree) bulkBuild(entries []Entry) error {
 		var f *Frame
 		var err error
 		if off == 0 {
-			// Reuse the empty root page as the first leaf.
-			f, err = t.pool.Get(t.root)
+			// Reuse the empty root page as the first leaf (GetMut: it is
+			// about to be rewritten, and may be a shared golden page).
+			f, err = t.pool.GetMut(t.root)
 			if err == nil && (f.Page[0] != nodeLeaf || nodeCount(f.Page) != 0) {
 				f.Unpin(false)
 				err = fmt.Errorf("rubisdb: BulkLoad needs a fresh tree (root is not an empty leaf)")

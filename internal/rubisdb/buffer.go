@@ -45,11 +45,27 @@ func (s *pageSlab) take() Page {
 	return p
 }
 
+// SharedPager is implemented by stores that can hand out stable,
+// immutable page buffers the pool may alias directly instead of copying
+// on a miss (the copy-on-write view store over a sealed golden
+// snapshot). A page obtained this way must never be mutated through the
+// frame; writers privatize first (BufferPool.GetMut / Privatize).
+type SharedPager interface {
+	// SharedPage returns the immutable buffer for id when the page is
+	// still golden (not privately overwritten), or (nil, false) when the
+	// caller must fall back to a copying ReadInto.
+	SharedPage(id PageID) (Page, bool)
+}
+
 // MemStore is the in-memory Store.
 type MemStore struct {
 	pages map[PageID]Page
 	next  map[uint32]uint32
 	slab  pageSlab
+	// sealed freezes the store as an immutable golden snapshot
+	// (Engine.Seal); any further Write or Allocate is a bug in the
+	// copy-on-write layer and panics rather than corrupting every view.
+	sealed bool
 }
 
 // NewMemStore returns an empty store.
@@ -81,6 +97,9 @@ func (m *MemStore) Read(id PageID) (Page, error) {
 // write-backs of the same page, so steady-state eviction traffic does
 // not allocate.
 func (m *MemStore) Write(id PageID, p Page) error {
+	if m.sealed {
+		panic(fmt.Sprintf("rubisdb: Write of page %v to sealed golden store", id))
+	}
 	dst, ok := m.pages[id]
 	if !ok {
 		dst = m.slab.take()
@@ -92,6 +111,9 @@ func (m *MemStore) Write(id PageID, p Page) error {
 
 // Allocate implements Store.
 func (m *MemStore) Allocate(file uint32) PageID {
+	if m.sealed {
+		panic(fmt.Sprintf("rubisdb: Allocate in file %d on sealed golden store", file))
+	}
 	id := PageID{File: file, PageNo: m.next[file]}
 	m.next[file]++
 	m.pages[id] = m.slab.take()
@@ -153,7 +175,12 @@ type Frame struct {
 
 	id    PageID
 	dirty bool
-	pins  int
+	// shared marks a frame whose Page aliases an immutable golden
+	// snapshot buffer (see SharedPager): reads are free, but it must be
+	// privatized (copied) before any mutation and its buffer is never
+	// recycled into the pool's free lists.
+	shared bool
+	pins   int
 	// prev/next form the pool's intrusive LRU list while the frame is
 	// resident (no container/list allocation or interface boxing per
 	// touch); next doubles as the free-list link after eviction.
@@ -170,6 +197,9 @@ func (f *Frame) Unpin(dirty bool) {
 	}
 	f.pins--
 	if dirty {
+		if f.shared {
+			panic(fmt.Sprintf("rubisdb: page %v dirtied without Privatize (shared golden page)", f.id))
+		}
 		f.dirty = true
 	}
 }
@@ -188,6 +218,9 @@ type BufferPool struct {
 	freeFrame *Frame // singly linked through next
 	freePage  []Page
 	slab      pageSlab
+	// sharedSrc is non-nil when the store can serve zero-copy golden
+	// pages (resolved once here so the miss path pays no type assertion).
+	sharedSrc SharedPager
 }
 
 // NewBufferPool builds a pool of capacity pages over store, metering
@@ -202,6 +235,7 @@ func NewBufferPool(store Store, capacity int, meter *Meter) *BufferPool {
 		frames:   make(map[PageID]*Frame, capacity),
 		meter:    meter,
 	}
+	b.sharedSrc, _ = store.(SharedPager)
 	b.lru.next = &b.lru
 	b.lru.prev = &b.lru
 	return b
@@ -261,6 +295,21 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 		return f, nil
 	}
 	b.meter.PageMisses++
+	// A page still backed by an immutable golden snapshot is aliased
+	// zero-copy; the miss is metered identically, so a view's hit/miss/
+	// eviction stream matches a freshly populated pool byte for byte.
+	if b.sharedSrc != nil {
+		if p, ok := b.sharedSrc.SharedPage(id); ok {
+			if err := b.makeRoom(); err != nil {
+				return nil, err
+			}
+			f := b.takeFrame()
+			*f = Frame{Page: p, id: id, pins: 1, shared: true}
+			b.pushFront(f)
+			b.frames[id] = f
+			return f, nil
+		}
+	}
 	p := b.takePage()
 	if err := b.store.ReadInto(id, p); err != nil {
 		b.freePage = append(b.freePage, p)
@@ -275,6 +324,32 @@ func (b *BufferPool) Get(id PageID) (*Frame, error) {
 	b.pushFront(f)
 	b.frames[id] = f
 	return f, nil
+}
+
+// GetMut pins the page with write intent: like Get, but the returned
+// frame is guaranteed private, copying a shared golden page on its first
+// write. All mutation paths (heap appends, in-place updates, B-tree
+// structural edits) go through GetMut or Privatize.
+func (b *BufferPool) GetMut(id PageID) (*Frame, error) {
+	f, err := b.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	b.Privatize(f)
+	return f, nil
+}
+
+// Privatize converts a shared golden frame into a private copy the
+// caller may mutate; private frames pass through untouched. This is the
+// copy-on-write fault: one PageSize copy, only on first write.
+func (b *BufferPool) Privatize(f *Frame) {
+	if !f.shared {
+		return
+	}
+	p := b.takePage()
+	copy(p, f.Page)
+	f.Page = p
+	f.shared = false
 }
 
 // NewPage allocates a fresh page in file, resident, pinned, and dirty.
@@ -315,7 +390,12 @@ func (b *BufferPool) makeRoom() error {
 		}
 		b.unlink(victim)
 		delete(b.frames, victim.id)
-		b.freePage = append(b.freePage, victim.Page)
+		// A shared frame aliases the immutable golden buffer: evicting it
+		// must not feed that buffer into the free list where a later miss
+		// would scribble over the snapshot.
+		if !victim.shared {
+			b.freePage = append(b.freePage, victim.Page)
+		}
 		*victim = Frame{next: b.freeFrame}
 		b.freeFrame = victim
 	}

@@ -41,17 +41,22 @@ type Receipt struct {
 	ResultBytes float64
 }
 
-// Engine is the storage engine instance standing in for MySQL.
+// Engine is the storage engine instance standing in for MySQL. The
+// store is a MemStore for a directly built engine and a cowStore for a
+// view attached to a Golden snapshot (see snapshot.go).
 type Engine struct {
-	store *MemStore
+	store Store
 	pool  *BufferPool
 	wal   *WAL
 	meter *Meter
 	cost  CostModel
 
-	tables   map[string]*Table
-	nextID   uint32
-	queryOps uint64
+	tables map[string]*Table
+	// tableOrder keeps registration order so Seal/Rearm pair table state
+	// deterministically (the tables map iterates in random order).
+	tableOrder []*Table
+	nextID     uint32
+	queryOps   uint64
 }
 
 // NewEngine builds an engine with a buffer pool of bufferPages pages.
@@ -117,6 +122,7 @@ func (e *Engine) CreateTable(name string, schema Schema, pkCol string, secondary
 		t.secs = append(t.secs, sec)
 	}
 	e.tables[name] = t
+	e.tableOrder = append(e.tableOrder, t)
 	return t, nil
 }
 

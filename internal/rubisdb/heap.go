@@ -38,7 +38,7 @@ func (h *Heap) Insert(tuple []byte) (RID, error) {
 		return RID{}, fmt.Errorf("rubisdb: tuple of %d bytes exceeds half page", len(tuple))
 	}
 	if h.has {
-		f, err := h.pool.Get(h.last)
+		f, err := h.pool.GetMut(h.last)
 		if err != nil {
 			return RID{}, err
 		}
@@ -84,7 +84,7 @@ func (h *Heap) Fetch(rid RID) ([]byte, error) {
 
 // UpdateInPlace overwrites the tuple at rid with a same-length payload.
 func (h *Heap) UpdateInPlace(rid RID, tuple []byte) error {
-	f, err := h.pool.Get(PageID{File: h.file, PageNo: rid.PageNo})
+	f, err := h.pool.GetMut(PageID{File: h.file, PageNo: rid.PageNo})
 	if err != nil {
 		return err
 	}
@@ -93,8 +93,14 @@ func (h *Heap) UpdateInPlace(rid RID, tuple []byte) error {
 	return err
 }
 
+// PageCounter reports per-file allocated page counts; both MemStore and
+// the copy-on-write view store implement it.
+type PageCounter interface {
+	PageCount(file uint32) uint32
+}
+
 // Scan visits every tuple in heap order; fn returning false stops early.
-func (h *Heap) Scan(store *MemStore, fn func(rid RID, tuple []byte) bool) error {
+func (h *Heap) Scan(store PageCounter, fn func(rid RID, tuple []byte) bool) error {
 	n := store.PageCount(h.file)
 	for pn := uint32(0); pn < n; pn++ {
 		f, err := h.pool.Get(PageID{File: h.file, PageNo: pn})

@@ -1,0 +1,302 @@
+package rubisdb
+
+import "fmt"
+
+// Golden dataset snapshots.
+//
+// Populating a RUBiS dataset costs ~100 ms and millions of allocations,
+// and a sweep repeats it for every replication. Seal captures a
+// populated engine — the sealed MemStore pages plus every piece of
+// mutable engine state (buffer-pool residency in exact LRU order, meter,
+// WAL position, per-table heap/B-tree cursors) — as an immutable Golden.
+// NewView then builds a copy-on-write engine over it in microseconds:
+// reads alias golden pages directly (see SharedPager in buffer.go) and a
+// page is copied only on first write, so a replication's view starts
+// byte-identical to a fresh population and diverges privately. Rearm
+// rewinds a released view back to the sealed state, recycling its
+// private pages and frames through the existing free lists, which makes
+// the steady-state attach path allocation-free.
+
+// walState captures the WAL position at seal time. buffered matters:
+// group-commit flush timing after attach must match what a fresh
+// population would have left behind.
+type walState struct {
+	lsn        uint64
+	buffered   float64
+	threshold  float64
+	flushes    uint64
+	totalBytes float64
+}
+
+// tableState captures one table's mutable cursors in registration order.
+type tableState struct {
+	name     string
+	schema   Schema
+	id       uint32
+	pkCol    int
+	secCols  []int
+	heapLast PageID
+	heapHas  bool
+	heapRows int
+	pkRoot   PageID
+	pkSize   int
+	secRoots []PageID
+	secSizes []int
+}
+
+// Golden is a sealed, immutable engine snapshot that any number of
+// copy-on-write views can attach to concurrently.
+type Golden struct {
+	store    *MemStore
+	meter    Meter
+	queryOps uint64
+	wal      walState
+	cost     CostModel
+	capacity int
+	nextID   uint32
+	// residents is the buffer pool's resident set at seal time, most
+	// recently used first, so a view's LRU order (and therefore its
+	// future eviction sequence) matches a fresh population exactly.
+	residents []PageID
+	tables    []tableState
+}
+
+// Seal freezes the engine into a Golden snapshot. All dirty pages are
+// flushed first (a no-op on the meter when the caller already
+// checkpointed, as dataset population does) and no frame may be pinned.
+// The engine's store becomes immutable; the engine itself must not be
+// used afterwards — attach views instead.
+func (e *Engine) Seal() (*Golden, error) {
+	ms, ok := e.store.(*MemStore)
+	if !ok {
+		return nil, fmt.Errorf("rubisdb: Seal of a copy-on-write view")
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	g := &Golden{
+		store:    ms,
+		meter:    *e.meter,
+		queryOps: e.queryOps,
+		wal: walState{
+			lsn:        e.wal.lsn,
+			buffered:   e.wal.buffered,
+			threshold:  e.wal.FlushThreshold,
+			flushes:    e.wal.Flushes,
+			totalBytes: e.wal.TotalBytes,
+		},
+		cost:     e.cost,
+		capacity: e.pool.capacity,
+		nextID:   e.nextID,
+	}
+	for f := e.pool.lru.next; f != &e.pool.lru; f = f.next {
+		if f.pins != 0 {
+			return nil, fmt.Errorf("rubisdb: Seal with page %v still pinned", f.id)
+		}
+		g.residents = append(g.residents, f.id)
+	}
+	for _, t := range e.tableOrder {
+		ts := tableState{
+			name:     t.Name,
+			schema:   t.Schema,
+			id:       t.id,
+			pkCol:    t.pkCol,
+			secCols:  t.secCols,
+			heapLast: t.heap.last,
+			heapHas:  t.heap.has,
+			heapRows: t.heap.Rows,
+			pkRoot:   t.pk.root,
+			pkSize:   t.pk.size,
+		}
+		for _, sec := range t.secs {
+			ts.secRoots = append(ts.secRoots, sec.root)
+			ts.secSizes = append(ts.secSizes, sec.size)
+		}
+		g.tables = append(g.tables, ts)
+	}
+	ms.sealed = true
+	return g, nil
+}
+
+// NewView builds a fresh copy-on-write engine over the snapshot. Views
+// are independent: each has its own buffer pool, meter, WAL, and private
+// page set, so concurrent views never observe each other. For the
+// allocation-free path, recycle a finished view with Rearm instead.
+func (g *Golden) NewView() *Engine {
+	meter := &Meter{}
+	cow := &cowStore{
+		golden: g.store,
+		priv:   make(map[PageID]Page),
+		next:   make(map[uint32]uint32, len(g.store.next)),
+	}
+	e := &Engine{
+		store:  cow,
+		pool:   NewBufferPool(cow, g.capacity, meter),
+		wal:    NewWAL(meter),
+		meter:  meter,
+		cost:   g.cost,
+		tables: make(map[string]*Table, len(g.tables)),
+	}
+	for i := range g.tables {
+		ts := &g.tables[i]
+		t := &Table{
+			Name:    ts.name,
+			Schema:  ts.schema,
+			id:      ts.id,
+			heap:    NewHeap(e.pool, ts.id),
+			pkCol:   ts.pkCol,
+			pk:      &BTree{pool: e.pool, file: ts.id + 1},
+			secCols: ts.secCols,
+			engine:  e,
+		}
+		for j := range ts.secRoots {
+			t.secs = append(t.secs, &BTree{pool: e.pool, file: ts.id + 2 + uint32(j)})
+		}
+		e.tables[ts.name] = t
+		e.tableOrder = append(e.tableOrder, t)
+	}
+	g.Rearm(e)
+	return e
+}
+
+// Rearm rewinds a view created by NewView back to the sealed state:
+// private pages and frames return to the free lists, the warm resident
+// set is rebuilt over golden pages in sealed LRU order, and the meter,
+// WAL, and table cursors are restored. Steady-state Rearm allocates
+// nothing, which is what makes replication attach effectively free.
+// The view must be quiescent (no outstanding frame references).
+func (g *Golden) Rearm(e *Engine) {
+	cow := e.store.(*cowStore)
+	cow.reset(g.store)
+	e.pool.dropAllFrames()
+	for i := len(g.residents) - 1; i >= 0; i-- {
+		id := g.residents[i]
+		f := e.pool.takeFrame()
+		*f = Frame{Page: g.store.pages[id], id: id, shared: true}
+		e.pool.pushFront(f)
+		e.pool.frames[id] = f
+	}
+	*e.meter = g.meter
+	e.queryOps = g.queryOps
+	e.nextID = g.nextID
+	e.wal.lsn = g.wal.lsn
+	e.wal.buffered = g.wal.buffered
+	e.wal.FlushThreshold = g.wal.threshold
+	e.wal.Flushes = g.wal.flushes
+	e.wal.TotalBytes = g.wal.totalBytes
+	for i := range g.tables {
+		ts := &g.tables[i]
+		t := e.tableOrder[i]
+		t.heap.last = ts.heapLast
+		t.heap.has = ts.heapHas
+		t.heap.Rows = ts.heapRows
+		t.pk.root = ts.pkRoot
+		t.pk.size = ts.pkSize
+		for j := range t.secs {
+			t.secs[j].root = ts.secRoots[j]
+			t.secs[j].size = ts.secSizes[j]
+		}
+	}
+}
+
+// dropAllFrames evicts every resident frame without write-back,
+// recycling private page buffers and all frame structs through the free
+// lists. Used when rearming a view: its private changes are discarded by
+// design.
+func (b *BufferPool) dropAllFrames() {
+	for f := b.lru.next; f != &b.lru; {
+		next := f.next
+		if !f.shared {
+			b.freePage = append(b.freePage, f.Page)
+		}
+		*f = Frame{next: b.freeFrame}
+		b.freeFrame = f
+		f = next
+	}
+	b.lru.next = &b.lru
+	b.lru.prev = &b.lru
+	clear(b.frames)
+}
+
+// cowStore is the Store behind a view: reads hit the private overlay
+// first and fall back to the sealed golden pages; writes (pool
+// write-backs) and allocations land in the overlay. It also implements
+// SharedPager so the pool can alias still-golden pages zero-copy.
+type cowStore struct {
+	golden *MemStore
+	priv   map[PageID]Page
+	next   map[uint32]uint32
+	free   []Page
+	slab   pageSlab
+}
+
+func (c *cowStore) takePage() Page {
+	if n := len(c.free); n > 0 {
+		p := c.free[n-1]
+		c.free = c.free[:n-1]
+		return p
+	}
+	return c.slab.take()
+}
+
+// reset discards the private overlay (recycling its buffers) and
+// restores the allocation cursors to the golden state.
+func (c *cowStore) reset(golden *MemStore) {
+	for _, p := range c.priv {
+		c.free = append(c.free, p)
+	}
+	clear(c.priv)
+	clear(c.next)
+	for file, n := range golden.next {
+		c.next[file] = n
+	}
+}
+
+// SharedPage implements SharedPager: still-golden pages may be aliased.
+func (c *cowStore) SharedPage(id PageID) (Page, bool) {
+	if _, ok := c.priv[id]; ok {
+		return nil, false
+	}
+	p, ok := c.golden.pages[id]
+	return p, ok
+}
+
+// ReadInto implements Store.
+func (c *cowStore) ReadInto(id PageID, dst Page) error {
+	if p, ok := c.priv[id]; ok {
+		copy(dst, p)
+		return nil
+	}
+	if p, ok := c.golden.pages[id]; ok {
+		copy(dst, p)
+		return nil
+	}
+	return fmt.Errorf("rubisdb: page %v not found", id)
+}
+
+// Write implements Store: write-backs land in the private overlay, never
+// in the golden snapshot.
+func (c *cowStore) Write(id PageID, p Page) error {
+	dst, ok := c.priv[id]
+	if !ok {
+		dst = c.takePage()
+		c.priv[id] = dst
+	}
+	copy(dst, p)
+	return nil
+}
+
+// Allocate implements Store: new pages extend the view privately. The
+// buffer is cleared because recycled free-list pages carry stale bytes,
+// where MemStore hands out slab pages that are already zero.
+func (c *cowStore) Allocate(file uint32) PageID {
+	id := PageID{File: file, PageNo: c.next[file]}
+	c.next[file]++
+	p := c.takePage()
+	clear(p)
+	c.priv[id] = p
+	return id
+}
+
+// PageCount reports allocated pages in file (golden plus private growth).
+func (c *cowStore) PageCount(file uint32) uint32 { return c.next[file] }

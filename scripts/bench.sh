@@ -20,8 +20,10 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run xxx -bench 'BenchmarkEngineOnly$|BenchmarkSweepWorkers|BenchmarkOpenLoopDriver' \
 	-benchtime "$sim_benchtime" -benchmem . | tee -a "$tmp"
+go test -run xxx -bench 'BenchmarkSnapshotAttach$' \
+	-benchtime "$micro_benchtime" -benchmem . | tee -a "$tmp"
 go test -run xxx \
-	-bench 'BenchmarkBTree|BenchmarkBufferPoolGet|BenchmarkBulkLoad|BenchmarkHeapInsert|BenchmarkEngineQueryMix' \
+	-bench 'BenchmarkBTree|BenchmarkBufferPoolGet|BenchmarkBulkLoad|BenchmarkHeapInsert|BenchmarkEngineQueryMix|BenchmarkCOWFirstWrite' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/rubisdb/ | tee -a "$tmp"
 go test -run xxx -bench 'BenchmarkKernel' \
 	-benchtime "$micro_benchtime" -benchmem ./internal/sim/ | tee -a "$tmp"
